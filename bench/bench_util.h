@@ -1,0 +1,57 @@
+// Shared output helpers for the figure-reproduction benches.
+#ifndef REALRATE_BENCH_BENCH_UTIL_H_
+#define REALRATE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "util/time_series.h"
+
+namespace realrate::bench {
+
+inline void PrintRule() {
+  std::printf("--------------------------------------------------------------------------\n");
+}
+
+inline void PrintHeader(const char* title) {
+  PrintRule();
+  std::printf("%s\n", title);
+  PrintRule();
+}
+
+// Prints a series resampled to `bucket`, one row per bucket.
+inline void PrintSeries(const TimeSeries& series, Duration bucket, const char* unit) {
+  const TimeSeries rs = series.Resample(bucket);
+  std::printf("  %-22s", series.name().c_str());
+  for (const auto& p : rs.points()) {
+    std::printf(" %7.4g", p.value);
+  }
+  std::printf("  [%s]\n", unit);
+}
+
+// Prints aligned columns of several series sharing a time axis.
+inline void PrintAligned(const std::vector<const TimeSeries*>& series, Duration bucket) {
+  std::vector<TimeSeries> resampled;
+  resampled.reserve(series.size());
+  for (const TimeSeries* s : series) {
+    resampled.push_back(s->Resample(bucket));
+  }
+  std::printf("  %8s", "time_s");
+  for (const TimeSeries* s : series) {
+    std::printf(" %14s", s->name().c_str());
+  }
+  std::printf("\n");
+  if (resampled.empty() || resampled[0].empty()) {
+    return;
+  }
+  for (const auto& p : resampled[0].points()) {
+    std::printf("  %8.1f", p.t.ToSeconds());
+    for (const auto& rs : resampled) {
+      std::printf(" %14.4g", rs.ValueAt(p.t));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace realrate::bench
+
+#endif  // REALRATE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// Quickstart: the smallest end-to-end use of the realrate library.
+//
+// Builds a simulated machine, connects a fixed-rate producer to a consumer through a
+// bounded buffer (the paper's symbiotic interface), registers both with the feedback
+// allocator, and watches the controller discover the consumer's correct CPU share with
+// no human-provided reservation.
+//
+//   producer: real-time thread, 5% reservation, emits 5000 bytes/sec
+//   consumer: real-rate thread, needs 2.5% of the CPU — but nobody tells the system
+//             that; the controller infers it from the queue fill level.
+#include <cstdio>
+#include <memory>
+
+#include "realrate.h"
+
+using namespace realrate;
+
+int main() {
+  // 1. A simulated 400 MHz machine with the reservation scheduler and controller.
+  System system;
+
+  // 2. The symbiotic interface: a 4 kB bounded buffer.
+  BoundedBuffer* queue = system.CreateQueue("pipe", 4'000);
+
+  // 3. Two threads. The producer loops 400k cycles then enqueues a 100-byte item; the
+  //    consumer spends 2000 cycles per byte it dequeues.
+  SimThread* producer = system.Spawn(
+      "producer", std::make_unique<ProducerWork>(queue, /*cycles_per_item=*/400'000,
+                                                 RateSchedule(/*bytes_per_item=*/100.0)));
+  SimThread* consumer = system.Spawn(
+      "consumer", std::make_unique<ConsumerWork>(queue, /*cycles_per_byte=*/2'000));
+
+  // 4. The meta-interface: tell the kernel who produces and who consumes.
+  system.queues().Register(queue, producer->id(), QueueRole::kProducer);
+  system.queues().Register(queue, consumer->id(), QueueRole::kConsumer);
+
+  // 5. Classify the threads for the controller (paper Figure 2). The producer brings
+  //    its own reservation; the consumer is real-rate: no proportion, no period, just
+  //    a progress metric.
+  if (!system.controller().AddRealTime(producer, Proportion::Ppt(50), Duration::Millis(10))) {
+    std::fprintf(stderr, "admission control rejected the producer reservation\n");
+    return 1;
+  }
+  system.controller().AddRealRate(consumer);
+
+  // 6. Run and watch the allocation converge. The consumer needs
+  //    5000 B/s * 2000 cyc/B = 10 Mcyc/s = 2.5% of the CPU (25 ppt).
+  system.Start();
+  std::printf("%6s %12s %14s %12s\n", "t(s)", "fill", "consumer ppt", "rate (B/s)");
+  int64_t last_progress = 0;
+  for (int second = 1; second <= 8; ++second) {
+    system.RunFor(Duration::Seconds(1));
+    const int64_t progress = consumer->progress_units();
+    std::printf("%6d %12.3f %14d %12lld\n", second, queue->FillFraction(),
+                consumer->proportion().ppt(),
+                static_cast<long long>(progress - last_progress));
+    last_progress = progress;
+  }
+
+  std::printf(
+      "\nThe controller assigned the consumer ~25 ppt (2.5%%) and holds the queue at\n"
+      "half-full — no human expert supplied either number.\n");
+  return 0;
+}

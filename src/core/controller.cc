@@ -1,0 +1,421 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/overload.h"
+#include "core/pressure.h"
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace realrate {
+
+FeedbackAllocator::FeedbackAllocator(Machine& machine, RbsScheduler& rbs, QueueRegistry& queues,
+                                     const ControllerConfig& config)
+    : machine_(machine),
+      rbs_(rbs),
+      queues_(queues),
+      config_(config),
+      overload_threshold_(config.overload_threshold) {
+  RR_EXPECTS(config.interval.IsPositive());
+  RR_EXPECTS(config.overload_threshold > 0 && config.overload_threshold <= 1.0);
+  rbs_.SetDeadlineMissFn([this](SimThread* t, Cycles shortfall, TimePoint now) {
+    OnDeadlineMiss(t, shortfall, now);
+  });
+}
+
+void FeedbackAllocator::Start() {
+  RR_EXPECTS(!started_);
+  started_ = true;
+  ScheduleNext();
+}
+
+// Reschedules from inside each invocation so interval changes take effect; the
+// recursion is flattened by the event queue.
+void FeedbackAllocator::ScheduleNext() {
+  machine_.sim().ScheduleAfter(config_.interval, [this] {
+    RunOnce(machine_.sim().Now());
+    ScheduleNext();
+  });
+}
+
+FeedbackAllocator::Controlled* FeedbackAllocator::Find(ThreadId id) {
+  for (Controlled& c : controlled_) {
+    if (c.thread->id() == id) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+const FeedbackAllocator::Controlled* FeedbackAllocator::Find(ThreadId id) const {
+  for (const Controlled& c : controlled_) {
+    if (c.thread->id() == id) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+double FeedbackAllocator::FixedReservedSum() const {
+  double sum = 0.0;
+  for (const Controlled& c : controlled_) {
+    if (c.cls == ThreadClass::kRealTime || c.cls == ThreadClass::kAperiodicRealTime) {
+      sum += c.fixed_fraction;
+    }
+  }
+  return sum;
+}
+
+bool FeedbackAllocator::AddRealTime(SimThread* thread, Proportion proportion, Duration period) {
+  RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(Find(thread->id()) == nullptr);
+  const double request = proportion.ToFraction();
+  if (!AdmitRealTime(FixedReservedSum(), request, overload_threshold_)) {
+    machine_.sim().trace().Record(machine_.sim().Now(), TraceKind::kRejected, thread->id(),
+                                  proportion.ppt());
+    return false;
+  }
+  Controlled c;
+  c.thread = thread;
+  c.cls = ThreadClass::kRealTime;
+  c.period = period;
+  c.fixed_fraction = request;
+  c.desired = c.granted = request;
+  thread->set_thread_class(ThreadClass::kRealTime);
+  rbs_.SetReservation(thread, proportion, period, machine_.sim().Now());
+  machine_.sim().trace().Record(machine_.sim().Now(), TraceKind::kAdmitted, thread->id(),
+                                proportion.ppt());
+  controlled_.push_back(std::move(c));
+  return true;
+}
+
+bool FeedbackAllocator::AddAperiodicRealTime(SimThread* thread, Proportion proportion) {
+  RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(Find(thread->id()) == nullptr);
+  const double request = proportion.ToFraction();
+  if (!AdmitRealTime(FixedReservedSum(), request, overload_threshold_)) {
+    machine_.sim().trace().Record(machine_.sim().Now(), TraceKind::kRejected, thread->id(),
+                                  proportion.ppt());
+    return false;
+  }
+  Controlled c;
+  c.thread = thread;
+  c.cls = ThreadClass::kAperiodicRealTime;
+  // "Without a progress metric with which to assess the application's needs, our
+  // prototype uses a default value of 30 milliseconds."
+  c.period = config_.default_period;
+  c.fixed_fraction = request;
+  c.desired = c.granted = request;
+  thread->set_thread_class(ThreadClass::kAperiodicRealTime);
+  rbs_.SetReservation(thread, proportion, c.period, machine_.sim().Now());
+  machine_.sim().trace().Record(machine_.sim().Now(), TraceKind::kAdmitted, thread->id(),
+                                proportion.ppt());
+  controlled_.push_back(std::move(c));
+  return true;
+}
+
+void FeedbackAllocator::AddRealRate(SimThread* thread) {
+  RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(Find(thread->id()) == nullptr);
+  // A real-rate thread without a registered progress metric is a contract violation:
+  // the caller should have used AddMiscellaneous.
+  RR_EXPECTS(queues_.HasMetrics(thread->id()));
+  Controlled c;
+  c.thread = thread;
+  c.cls = ThreadClass::kRealRate;
+  c.period = config_.default_period;
+  c.estimator = std::make_unique<ProportionEstimator>(config_.estimator);
+  if (config_.enable_period_estimation) {
+    c.period_estimator = std::make_unique<PeriodEstimator>(config_.period_estimator);
+    const size_t window =
+        std::max<size_t>(2, static_cast<size_t>(c.period / config_.interval));
+    c.fill_window = std::make_unique<RingBuffer<double>>(window);
+    c.last_period_mark = machine_.sim().Now();
+  }
+  c.desired = c.granted = config_.estimator.min_fraction;
+  thread->set_thread_class(ThreadClass::kRealRate);
+  Actuate(c, c.granted, machine_.sim().Now());
+  controlled_.push_back(std::move(c));
+}
+
+void FeedbackAllocator::AddMiscellaneous(SimThread* thread) {
+  RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(Find(thread->id()) == nullptr);
+  Controlled c;
+  c.thread = thread;
+  c.cls = ThreadClass::kMiscellaneous;
+  c.period = config_.default_period;
+  c.estimator = std::make_unique<ProportionEstimator>(config_.estimator);
+  c.desired = c.granted = config_.estimator.min_fraction;
+  thread->set_thread_class(ThreadClass::kMiscellaneous);
+  Actuate(c, c.granted, machine_.sim().Now());
+  controlled_.push_back(std::move(c));
+}
+
+void FeedbackAllocator::AddInteractive(SimThread* thread) {
+  RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(Find(thread->id()) == nullptr);
+  Controlled c;
+  c.thread = thread;
+  c.cls = ThreadClass::kInteractive;
+  // "Interactive jobs have specific requirements (periods relative to human
+  // perception)": a small fixed period; the proportion floats with measured bursts.
+  c.period = config_.interactive_period;
+  c.desired = c.granted = config_.estimator.min_fraction;
+  thread->set_thread_class(ThreadClass::kInteractive);
+  Actuate(c, c.granted, machine_.sim().Now());
+  controlled_.push_back(std::move(c));
+}
+
+void FeedbackAllocator::Remove(SimThread* thread) {
+  RR_EXPECTS(thread != nullptr);
+  controlled_.erase(std::remove_if(controlled_.begin(), controlled_.end(),
+                                   [thread](const Controlled& c) { return c.thread == thread; }),
+                    controlled_.end());
+}
+
+void FeedbackAllocator::SampleAndEstimate(Controlled& c, double dt, TimePoint now) {
+  // CPU the thread actually used last interval, as a fraction of the interval.
+  const Cycles interval_cycles = machine_.sim().cpu().DurationToCycles(config_.interval);
+  const double used_fraction =
+      static_cast<double>(c.thread->TakeWindowCycles()) / static_cast<double>(interval_cycles);
+
+  switch (c.cls) {
+    case ThreadClass::kRealTime:
+    case ThreadClass::kAperiodicRealTime:
+      // Reservations are not adapted: "the controller sets the thread proportion and
+      // period to the specified amount and does not modify them in practice."
+      c.desired = c.fixed_fraction;
+      c.last_pressure = 0.0;
+      return;
+    case ThreadClass::kRealRate:
+      c.last_pressure = RawPressure(queues_, c.thread->id());
+      break;
+    case ThreadClass::kMiscellaneous:
+      // Constant pressure "to allocate more CPU to a miscellaneous thread, until it is
+      // either satisfied or the CPU becomes oversubscribed." Satisfaction shows up as
+      // under-use, which the estimator's reclaim branch converts into a reduction.
+      c.last_pressure = config_.misc_pressure;
+      break;
+    case ThreadClass::kInteractive: {
+      // Proportion from the measured run-before-block burst: enough allocation to
+      // serve one typical burst within one (small) period, plus headroom. A thread
+      // saturating its grant (backlogged, never blocking) has no measurable burst yet,
+      // so its allocation doubles until it starts blocking between events — the
+      // bootstrap of the "time they typically run before blocking" measurement.
+      const auto period_cycles =
+          static_cast<double>(machine_.sim().cpu().DurationToCycles(c.period));
+      double need =
+          config_.interactive_headroom * c.thread->burst_ewma_cycles() / period_cycles;
+      const bool saturated = c.granted > 0 && used_fraction >= 0.9 * c.granted;
+      if (saturated) {
+        need = std::max(need, c.granted * 2.0);
+      }
+      c.desired = std::clamp(need, config_.estimator.min_fraction,
+                             config_.estimator.max_fraction);
+      c.last_pressure = 0.0;
+      return;
+    }
+  }
+  c.desired = c.estimator->Step(c.last_pressure, used_fraction, c.granted, dt);
+
+  if (c.cls == ThreadClass::kRealRate && config_.enable_period_estimation) {
+    const auto linkages = queues_.LinkagesFor(c.thread->id());
+    if (!linkages.empty()) {
+      c.fill_window->Push(linkages.front().queue->FillFraction());
+    }
+    if (now - c.last_period_mark >= c.period) {
+      ApplyPeriodEstimation(c, now);
+      c.last_period_mark = now;
+    }
+  }
+}
+
+void FeedbackAllocator::ApplyPeriodEstimation(Controlled& c, TimePoint now) {
+  // Fill swing over the last period's worth of samples.
+  double lo = 1.0;
+  double hi = 0.0;
+  for (size_t i = 0; i < c.fill_window->size(); ++i) {
+    lo = std::min(lo, (*c.fill_window)[i]);
+    hi = std::max(hi, (*c.fill_window)[i]);
+  }
+  if (c.fill_window->size() >= 2) {
+    c.period_estimator->ObserveFillSwing(std::max(0.0, hi - lo));
+  }
+  const Duration proposed = c.period_estimator->Propose(c.period, c.granted);
+  if (proposed != c.period) {
+    c.period = proposed;
+    const size_t window =
+        std::max<size_t>(2, static_cast<size_t>(c.period / config_.interval));
+    c.fill_window = std::make_unique<RingBuffer<double>>(window);
+    Actuate(c, c.granted, now);
+  }
+}
+
+void FeedbackAllocator::CheckQuality(Controlled& c, TimePoint now) {
+  if (c.cls != ThreadClass::kRealRate) {
+    return;
+  }
+  if (c.quality_window == nullptr) {
+    c.quality_window = std::make_unique<RingBuffer<uint8_t>>(
+        static_cast<size_t>(10 * config_.quality_patience));
+  }
+
+  // Gather this interval's saturation evidence regardless of gating so the hit
+  // counters stay current.
+  const auto linkages = queues_.LinkagesFor(c.thread->id());
+  c.last_full_hits.resize(linkages.size(), 0);
+  c.last_empty_hits.resize(linkages.size(), 0);
+  BoundedBuffer* saturated = nullptr;
+  for (size_t i = 0; i < linkages.size(); ++i) {
+    const QueueLinkage& l = linkages[i];
+    const double fill = l.queue->FillFraction();
+    const bool full_hit = l.queue->full_hits() > c.last_full_hits[i];
+    const bool empty_hit = l.queue->empty_hits() > c.last_empty_hits[i];
+    c.last_full_hits[i] = l.queue->full_hits();
+    c.last_empty_hits[i] = l.queue->empty_hits();
+    // A consumer that cannot keep up sees its input pinned full (or its upstream
+    // producer bouncing off a full queue); a producer that cannot keep up sees its
+    // output pinned empty (or its downstream consumer finding nothing).
+    const bool starved = (l.role == QueueRole::kConsumer)
+                             ? (fill >= config_.quality_fill_extreme || full_hit)
+                             : (fill <= 1.0 - config_.quality_fill_extreme || empty_hit);
+    if (starved && saturated == nullptr) {
+      saturated = l.queue;
+    }
+  }
+
+  // A thread can only be starved by the CPU if its allocation is the limiting factor:
+  // it was squished below its desire, or its desire is pinned at the ceiling. Without
+  // this gate, routine queue-drain events in healthy pipelines would look like
+  // starvation.
+  const bool allocation_limited = c.granted < c.desired - 1e-9 ||
+                                  c.desired >= config_.estimator.max_fraction - 1e-9;
+  c.quality_window->Push((allocation_limited && saturated != nullptr) ? 1 : 0);
+
+  int evidence = 0;
+  for (size_t i = 0; i < c.quality_window->size(); ++i) {
+    evidence += (*c.quality_window)[i];
+  }
+  if (evidence >= config_.quality_patience && saturated != nullptr) {
+    c.quality_window->Clear();
+    ++quality_exceptions_;
+    machine_.sim().trace().Record(now, TraceKind::kQualityException, c.thread->id(),
+                                  saturated->id());
+    if (quality_fn_) {
+      quality_fn_(QualityException{now, c.thread, saturated});
+    }
+  }
+}
+
+void FeedbackAllocator::Actuate(Controlled& c, double fraction, TimePoint now) {
+  const Proportion p = Proportion::FromFraction(fraction);
+  c.granted = fraction;
+  if (c.thread->policy() == SchedPolicy::kReservation && c.thread->proportion() == p &&
+      c.thread->period() == c.period) {
+    return;  // No change; avoid perturbing the budget.
+  }
+  rbs_.SetReservation(c.thread, p, c.period, now);
+  machine_.sim().trace().Record(now, TraceKind::kAllocationSet, c.thread->id(), p.ppt(),
+                                c.period.nanos());
+  // A thread sleeping out an exhausted budget deserves to run again if the controller
+  // just raised its allocation.
+  if (c.thread->state() == ThreadState::kSleeping && c.thread->budget_remaining() > 0) {
+    machine_.CancelSleep(c.thread);
+  }
+}
+
+void FeedbackAllocator::RunOnce(TimePoint now) {
+  ++invocations_;
+  const double dt = config_.interval.ToSeconds();
+
+  // Drop exited threads.
+  controlled_.erase(std::remove_if(controlled_.begin(), controlled_.end(),
+                                   [](const Controlled& c) { return c.thread->HasExited(); }),
+                    controlled_.end());
+
+  // Phase 1: estimate desired allocations.
+  for (Controlled& c : controlled_) {
+    SampleAndEstimate(c, dt, now);
+  }
+
+  // Phase 2: overload resolution. Fixed reservations are untouchable; adaptive classes
+  // share what remains.
+  const double available = overload_threshold_ - FixedReservedSum();
+  std::vector<SquishRequest> requests;
+  std::vector<Controlled*> adaptive;
+  for (Controlled& c : controlled_) {
+    if (c.cls == ThreadClass::kRealRate || c.cls == ThreadClass::kMiscellaneous ||
+        c.cls == ThreadClass::kInteractive) {
+      requests.push_back({c.thread->id(), c.desired, c.thread->importance(),
+                          config_.estimator.min_fraction});
+      adaptive.push_back(&c);
+    }
+  }
+  double desired_sum = 0.0;
+  for (const SquishRequest& r : requests) {
+    desired_sum += r.desired;
+  }
+  const std::vector<SquishResult> grants = Squish(requests, std::max(0.0, available));
+  if (desired_sum > available) {
+    ++squish_events_;
+  }
+
+  // Phase 3: actuation.
+  RR_CHECK(grants.size() == adaptive.size());
+  for (size_t i = 0; i < grants.size(); ++i) {
+    Actuate(*adaptive[i], grants[i].granted, now);
+  }
+
+  // Phase 4: quality exceptions.
+  for (Controlled& c : controlled_) {
+    CheckQuality(c, now);
+  }
+
+  // Phase 5: the controller's own cost (Fig. 5): fixed + per-controlled-thread.
+  if (config_.charge_overhead) {
+    machine_.StealCycles(CpuUse::kController,
+                         machine_.sim().cpu().ControllerCost(static_cast<int>(controlled_.size())));
+  }
+}
+
+double FeedbackAllocator::DesiredFraction(ThreadId id) const {
+  const Controlled* c = Find(id);
+  return c != nullptr ? c->desired : 0.0;
+}
+
+double FeedbackAllocator::GrantedFraction(ThreadId id) const {
+  const Controlled* c = Find(id);
+  return c != nullptr ? c->granted : 0.0;
+}
+
+double FeedbackAllocator::LastPressure(ThreadId id) const {
+  const Controlled* c = Find(id);
+  return c != nullptr ? c->last_pressure : 0.0;
+}
+
+Duration FeedbackAllocator::PeriodOf(ThreadId id) const {
+  const Controlled* c = Find(id);
+  return c != nullptr ? c->period : Duration::Zero();
+}
+
+std::optional<ThreadClass> FeedbackAllocator::ClassOf(ThreadId id) const {
+  const Controlled* c = Find(id);
+  if (c == nullptr) {
+    return std::nullopt;
+  }
+  return c->cls;
+}
+
+void FeedbackAllocator::OnDeadlineMiss(SimThread* thread, Cycles shortfall, TimePoint now) {
+  machine_.sim().trace().Record(now, TraceKind::kDeadlineMiss, thread->id(), shortfall);
+  if (config_.adaptive_admission) {
+    // "If the RBS is missing deadlines, it notifies the controller which can increase
+    // the amount of spare capacity by reducing the admission threshold."
+    overload_threshold_ =
+        std::max(config_.min_overload_threshold, overload_threshold_ - config_.admission_backoff);
+  }
+}
+
+}  // namespace realrate

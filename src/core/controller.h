@@ -1,0 +1,153 @@
+// FeedbackAllocator: the paper's adaptive controller (§3.3). Runs periodically
+// (user-level, 100 Hz in the prototype), samples each controlled thread's progress,
+// derives a desired proportion through the Figure 3/Figure 4 control laws, resolves
+// overload by admission control and (weighted fair-share) squishing, and actuates the
+// reservation scheduler.
+#ifndef REALRATE_CORE_CONTROLLER_H_
+#define REALRATE_CORE_CONTROLLER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/period_estimator.h"
+#include "core/proportion_estimator.h"
+#include "core/quality.h"
+#include "queue/registry.h"
+#include "sched/machine.h"
+#include "sched/rbs.h"
+#include "util/ring_buffer.h"
+#include "util/types.h"
+
+namespace realrate {
+
+struct ControllerConfig {
+  // Controller execution period: "100 Hz in our prototype".
+  Duration interval = Duration::Millis(10);
+  ProportionEstimatorConfig estimator;
+  PeriodEstimatorConfig period_estimator;
+  // The paper's experiments all disable period estimation; so do we by default.
+  bool enable_period_estimation = false;
+  // Default period for aperiodic and miscellaneous threads: "our prototype uses a
+  // default value of 30 milliseconds."
+  Duration default_period = Duration::Millis(30);
+  // Overload threshold < 1: "reserve some capacity to cover the overhead of scheduling
+  // and interrupt handling."
+  double overload_threshold = 0.95;
+  // Constant progress-pressure applied to miscellaneous threads: "the controller
+  // approximates the thread's progress with a positive constant." Sized so an
+  // unopposed miscellaneous job ramps to the ceiling within a couple of seconds.
+  double misc_pressure = 0.1;
+  // Whether the controller's own computation is charged to the CPU (Fig. 5 overhead).
+  bool charge_overhead = true;
+  // Quality exception: fires when at least `quality_patience` of the last
+  // `10 * quality_patience` controller intervals showed saturation evidence (queue
+  // pinned beyond the fill extreme, or saturation hits — failed pushes/pops — since
+  // the previous check). A windowed count rather than a consecutive streak: bursty
+  // consumers dip below the extreme between drain bursts even while data is being
+  // dropped at a steady rate.
+  int quality_patience = 25;  // Evidence intervals within the last 10x window.
+  double quality_fill_extreme = 0.95;
+  // Deadline-miss feedback (paper footnote 3): each miss notification shrinks the
+  // admission threshold by this amount, increasing spare capacity.
+  bool adaptive_admission = true;
+  double admission_backoff = 0.002;
+  double min_overload_threshold = 0.5;
+  // Interactive heuristic: period small enough for human perception, and enough
+  // allocation headroom for one measured burst per period.
+  Duration interactive_period = Duration::Millis(10);
+  double interactive_headroom = 1.5;
+};
+
+class FeedbackAllocator {
+ public:
+  FeedbackAllocator(Machine& machine, RbsScheduler& rbs, QueueRegistry& queues,
+                    const ControllerConfig& config = ControllerConfig{});
+
+  // Schedules the periodic controller invocation. Call once.
+  void Start();
+
+  // --- Registration: the Figure 2 taxonomy ---
+  // Real-time: proportion and period specified. Subject to admission control; returns
+  // false (and leaves the thread unmanaged) when rejected.
+  bool AddRealTime(SimThread* thread, Proportion proportion, Duration period);
+  // Aperiodic real-time: proportion specified, controller assigns the default period.
+  bool AddAperiodicRealTime(SimThread* thread, Proportion proportion);
+  // Real-rate: progress metric(s) must already be registered in the queue registry.
+  void AddRealRate(SimThread* thread);
+  // Miscellaneous: no information; constant-pressure heuristic.
+  void AddMiscellaneous(SimThread* thread);
+  // Interactive (§3.2): "the scheduler only needs to know that the job is interactive"
+  // — a small period for human-perception latency, proportion estimated "by measuring
+  // the amount of time they typically run before blocking".
+  void AddInteractive(SimThread* thread);
+  void Remove(SimThread* thread);
+
+  void SetQualityExceptionFn(QualityExceptionFn fn) { quality_fn_ = std::move(fn); }
+
+  // One controller iteration. Public so the wall-clock overhead bench can drive it
+  // directly; normal use goes through Start().
+  void RunOnce(TimePoint now);
+
+  // --- Introspection (tests, experiment harness) ---
+  double DesiredFraction(ThreadId id) const;
+  double GrantedFraction(ThreadId id) const;
+  double LastPressure(ThreadId id) const;
+  Duration PeriodOf(ThreadId id) const;
+  std::optional<ThreadClass> ClassOf(ThreadId id) const;
+  double overload_threshold() const { return overload_threshold_; }
+  double FixedReservedSum() const;
+  int64_t invocations() const { return invocations_; }
+  int64_t quality_exceptions() const { return quality_exceptions_; }
+  int64_t squish_events() const { return squish_events_; }
+  size_t controlled_count() const { return controlled_.size(); }
+
+  const ControllerConfig& config() const { return config_; }
+
+ private:
+  struct Controlled {
+    SimThread* thread = nullptr;
+    ThreadClass cls = ThreadClass::kMiscellaneous;
+    std::unique_ptr<ProportionEstimator> estimator;   // Real-rate / miscellaneous only.
+    std::unique_ptr<PeriodEstimator> period_estimator;  // Real-rate only.
+    Duration period;
+    double fixed_fraction = 0.0;  // Real-time / aperiodic real-time reservations.
+    double desired = 0.0;
+    double granted = 0.0;
+    double last_pressure = 0.0;
+    // Sliding window of per-interval saturation evidence.
+    std::unique_ptr<RingBuffer<uint8_t>> quality_window;
+    // Saturation counters seen at the previous quality check, per linkage.
+    std::vector<int64_t> last_full_hits;
+    std::vector<int64_t> last_empty_hits;
+    // Fill samples for period estimation, sized to cover one period of intervals.
+    std::unique_ptr<RingBuffer<double>> fill_window;
+    TimePoint last_period_mark;
+  };
+
+  void ScheduleNext();
+  Controlled* Find(ThreadId id);
+  const Controlled* Find(ThreadId id) const;
+  void Admit(Controlled&& c, Proportion proportion);
+  void SampleAndEstimate(Controlled& c, double dt, TimePoint now);
+  void ApplyPeriodEstimation(Controlled& c, TimePoint now);
+  void CheckQuality(Controlled& c, TimePoint now);
+  void Actuate(Controlled& c, double fraction, TimePoint now);
+  void OnDeadlineMiss(SimThread* thread, Cycles shortfall, TimePoint now);
+
+  Machine& machine_;
+  RbsScheduler& rbs_;
+  QueueRegistry& queues_;
+  ControllerConfig config_;
+  double overload_threshold_;
+  std::vector<Controlled> controlled_;
+  QualityExceptionFn quality_fn_;
+  int64_t invocations_ = 0;
+  int64_t quality_exceptions_ = 0;
+  int64_t squish_events_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_CORE_CONTROLLER_H_

@@ -1,0 +1,93 @@
+#include "core/overload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+std::vector<SquishResult> Squish(const std::vector<SquishRequest>& requests, double available) {
+  RR_EXPECTS(available >= 0.0);
+  std::vector<SquishResult> out;
+  out.reserve(requests.size());
+
+  double total_desired = 0.0;
+  double total_floor = 0.0;
+  for (const SquishRequest& r : requests) {
+    RR_EXPECTS(r.desired >= r.floor);
+    RR_EXPECTS(r.importance > 0.0);
+    total_desired += r.desired;
+    total_floor += r.floor;
+  }
+
+  if (total_desired <= available) {
+    for (const SquishRequest& r : requests) {
+      out.push_back({r.thread, r.desired});
+    }
+    return out;
+  }
+
+  // Floors may themselves exceed availability (pathological admission); floors win —
+  // the no-starvation guarantee outranks the overload threshold, and the threshold
+  // already holds spare capacity in normal configurations.
+  const double budget = std::max(available, total_floor);
+
+  // Iterative weighted squish: reduce each thread in proportion to desired/importance;
+  // threads pinned at their floor drop out and the remaining excess is redistributed.
+  std::vector<double> granted(requests.size());
+  std::vector<bool> pinned(requests.size(), false);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    granted[i] = requests[i].desired;
+  }
+
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0;
+    for (double g : granted) {
+      sum += g;
+    }
+    double excess = sum - budget;
+    if (excess <= 1e-12) {
+      break;
+    }
+    double weight_total = 0.0;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (!pinned[i]) {
+        weight_total += granted[i] / requests[i].importance;
+      }
+    }
+    if (weight_total <= 0.0) {
+      break;  // Everyone pinned at floor; cannot reduce further.
+    }
+    bool newly_pinned = false;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (pinned[i]) {
+        continue;
+      }
+      const double share = (granted[i] / requests[i].importance) / weight_total;
+      const double reduced = granted[i] - excess * share;
+      if (reduced <= requests[i].floor) {
+        granted[i] = requests[i].floor;
+        pinned[i] = true;
+        newly_pinned = true;
+      } else {
+        granted[i] = reduced;
+      }
+    }
+    if (!newly_pinned) {
+      break;  // Exact proportional reduction applied; sum now equals budget.
+    }
+  }
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    out.push_back({requests[i].thread, granted[i]});
+  }
+  return out;
+}
+
+bool AdmitRealTime(double reserved_sum, double request, double threshold) {
+  RR_EXPECTS(request >= 0.0);
+  return reserved_sum + request <= threshold + 1e-12;
+}
+
+}  // namespace realrate

@@ -1,0 +1,43 @@
+// Overload response (§3.3 "Responding to Overload"): when the sum of desired
+// allocations exceeds the overload threshold, the controller "squishes" each
+// miscellaneous or real-rate job's proposed allocation by an amount proportional to the
+// allocation — extended to a weighted fair share where each thread's importance is the
+// weighting factor. Real-time reservations are never squished; admission control keeps
+// their sum under the threshold instead.
+#ifndef REALRATE_CORE_OVERLOAD_H_
+#define REALRATE_CORE_OVERLOAD_H_
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace realrate {
+
+struct SquishRequest {
+  ThreadId thread = kInvalidThreadId;
+  double desired = 0.0;     // Desired CPU fraction (already >= floor).
+  double importance = 1.0;  // Weight; higher => keeps more of its desired share.
+  double floor = 0.0;       // Starvation floor; squish never goes below this.
+};
+
+struct SquishResult {
+  ThreadId thread = kInvalidThreadId;
+  double granted = 0.0;
+};
+
+// Distributes `available` (CPU fraction) across the requests.
+//  - If sum(desired) <= available, everyone gets their desire.
+//  - Otherwise allocations are squished proportionally to desired/importance, floored
+//    at each thread's floor, iterating so freed floor-excess is redistributed.
+// Invariants (tested): sum(granted) <= max(available, sum(floors)); granted >= floor;
+// granted <= desired; among unfloored threads the *reduction* is proportional to
+// desired/importance.
+std::vector<SquishResult> Squish(const std::vector<SquishRequest>& requests, double available);
+
+// Admission control for real-time reservations: accept iff the already-reserved sum
+// plus the request stays within `threshold`.
+bool AdmitRealTime(double reserved_sum, double request, double threshold);
+
+}  // namespace realrate
+
+#endif  // REALRATE_CORE_OVERLOAD_H_

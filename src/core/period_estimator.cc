@@ -1,0 +1,44 @@
+#include "core/period_estimator.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+PeriodEstimator::PeriodEstimator(const PeriodEstimatorConfig& config)
+    : config_(config), swings_(static_cast<size_t>(config.window)) {
+  RR_EXPECTS(config.window >= 1);
+  RR_EXPECTS(config.min_period <= config.max_period);
+}
+
+void PeriodEstimator::ObserveFillSwing(double swing) {
+  RR_EXPECTS(swing >= 0.0 && swing <= 1.0);
+  swings_.Push(swing);
+}
+
+double PeriodEstimator::MeanSwing() const {
+  if (swings_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < swings_.size(); ++i) {
+    sum += swings_[i];
+  }
+  return sum / static_cast<double>(swings_.size());
+}
+
+Duration PeriodEstimator::Propose(Duration current, double allocation_fraction) {
+  RR_EXPECTS(current.IsPositive());
+  // Jitter first: halve the period when fill level oscillates too widely.
+  if (swings_.full() && MeanSwing() > config_.jitter_threshold) {
+    return std::max(config_.min_period, current / 2);
+  }
+  // Quantization: double the period while the proportion is small.
+  if (allocation_fraction < config_.small_fraction) {
+    return std::min(config_.max_period, current * 2);
+  }
+  return current;
+}
+
+}  // namespace realrate

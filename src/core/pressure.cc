@@ -1,0 +1,23 @@
+#include "core/pressure.h"
+
+#include "util/assert.h"
+
+namespace realrate {
+
+double LinkagePressure(const QueueLinkage& linkage) {
+  RR_EXPECTS(linkage.queue != nullptr);
+  const double f = linkage.queue->PressureMetric();  // fill/size - 1/2, in [-1/2, 1/2].
+  return RoleSign(linkage.role) * f;
+}
+
+double RawPressure(const QueueRegistry& registry, ThreadId thread) {
+  double sum = 0.0;
+  for (const QueueLinkage& l : registry.linkages()) {
+    if (l.thread == thread) {
+      sum += LinkagePressure(l);
+    }
+  }
+  return sum;
+}
+
+}  // namespace realrate

@@ -1,0 +1,22 @@
+// Progress-pressure computation (paper Figure 3):
+//   Q_t = G( sum_i R_t,i * F_t,i )
+// where F_t,i = fill/size - 1/2 for each queue the thread is registered on, R flips the
+// sign for producers, and G is a PID control function.
+#ifndef REALRATE_CORE_PRESSURE_H_
+#define REALRATE_CORE_PRESSURE_H_
+
+#include "queue/registry.h"
+#include "util/types.h"
+
+namespace realrate {
+
+// Raw summed pressure for one thread over its registered queues; in
+// [-n/2, +n/2] for n linkages. Positive = falling behind (needs more CPU).
+double RawPressure(const QueueRegistry& registry, ThreadId thread);
+
+// Pressure contributed by a single linkage, in [-1/2, +1/2].
+double LinkagePressure(const QueueLinkage& linkage);
+
+}  // namespace realrate
+
+#endif  // REALRATE_CORE_PRESSURE_H_

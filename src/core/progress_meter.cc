@@ -1,0 +1,65 @@
+#include "core/progress_meter.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+ProgressMeter::ProgressMeter(Simulator& sim, QueueRegistry& registry, SimThread* thread,
+                             std::string name, const Config& config)
+    : sim_(sim), thread_(thread), config_(config) {
+  RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(config.target_rate > 0);
+  RR_EXPECTS(config.capacity_units > 0);
+  RR_EXPECTS(config.update_period.IsPositive());
+  queue_ = registry.CreateQueue(std::move(name), config.capacity_units);
+  // Start half-full: the thread begins exactly on target, with symmetric slack.
+  queue_->TryPush(config.capacity_units / 2);
+  registry.Register(queue_, thread->id(), QueueRole::kProducer);
+}
+
+void ProgressMeter::Start() {
+  RR_EXPECTS(!started_);
+  started_ = true;
+  running_ = true;
+  last_progress_ = thread_->progress_units();
+  ScheduleNext();
+}
+
+void ProgressMeter::ScheduleNext() {
+  sim_.ScheduleAfter(config_.update_period, [this] {
+    if (!running_) {
+      return;
+    }
+    Update();
+    ScheduleNext();
+  });
+}
+
+void ProgressMeter::Update() {
+  // Produce: the thread's progress since the last reconciliation.
+  const int64_t progress = thread_->progress_units();
+  const int64_t delta = progress - last_progress_;
+  last_progress_ = progress;
+  if (delta > 0) {
+    const int64_t room = queue_->capacity() - queue_->fill();
+    const int64_t pushed = std::min(delta, room);
+    if (pushed > 0) {
+      queue_->TryPush(pushed);
+    }
+    // Progress beyond the buffer means the thread ran persistently ahead of target;
+    // the saturated (full) queue already exerts maximal negative pressure.
+    overflow_ += delta - pushed;
+  }
+  // Drain: the target rate's share of this period, with fractional carry.
+  drain_carry_ += config_.target_rate * config_.update_period.ToSeconds();
+  const auto whole = static_cast<int64_t>(drain_carry_);
+  if (whole > 0) {
+    drain_carry_ -= static_cast<double>(whole);
+    drained_ += queue_->TryPop(whole);
+  }
+}
+
+}  // namespace realrate

@@ -1,0 +1,69 @@
+// Pseudo-progress metrics (§4.5): "We suggest the right solution for these
+// applications is to add a pseudo-progress metric which maps their notion of progress
+// into our queue-based meta-interface. For example, a pure computation (finding digits
+// of pi or cracking passwords) could use a metric such as the number of keys it has
+// attempted."
+//
+// ProgressMeter turns any thread's progress counter into a virtual bounded buffer the
+// controller can monitor: the thread "produces" its progress units into the buffer
+// while a kernel drain consumes them at the declared target rate. If the thread runs
+// ahead of its target, the buffer fills and the producer-side pressure turns negative;
+// if it falls behind, the buffer drains and pressure demands more CPU. The thread can
+// then be registered real-rate instead of miscellaneous.
+#ifndef REALRATE_CORE_PROGRESS_METER_H_
+#define REALRATE_CORE_PROGRESS_METER_H_
+
+#include <string>
+
+#include "queue/registry.h"
+#include "sim/simulator.h"
+#include "task/thread.h"
+
+namespace realrate {
+
+class ProgressMeter {
+ public:
+  struct Config {
+    // The real-world rate the computation should sustain, in progress units/sec.
+    double target_rate = 1'000.0;
+    // Virtual buffer capacity in progress units; the half-full set point gives the
+    // thread capacity_units/2 of slack in both directions.
+    int64_t capacity_units = 2'000;
+    // How often the meter reconciles the progress counter with the virtual queue.
+    Duration update_period = Duration::Millis(10);
+  };
+
+  // Creates the virtual queue inside `registry` and registers `thread` as its
+  // producer. Call Start() once to begin metering.
+  ProgressMeter(Simulator& sim, QueueRegistry& registry, SimThread* thread,
+                std::string name, const Config& config);
+
+  void Start();
+  void Stop() { running_ = false; }
+
+  BoundedBuffer* queue() { return queue_; }
+  // Units the drain consumed so far (the target-rate clock).
+  int64_t drained_units() const { return drained_; }
+  // Units of progress that overflowed the virtual buffer (thread persistently faster
+  // than the target).
+  int64_t overflow_units() const { return overflow_; }
+
+ private:
+  void ScheduleNext();
+  void Update();
+
+  Simulator& sim_;
+  SimThread* const thread_;
+  BoundedBuffer* queue_;
+  Config config_;
+  bool running_ = false;
+  bool started_ = false;
+  int64_t last_progress_ = 0;
+  double drain_carry_ = 0.0;
+  int64_t drained_ = 0;
+  int64_t overflow_ = 0;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_CORE_PROGRESS_METER_H_

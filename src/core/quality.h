@@ -1,0 +1,29 @@
+// Quality exceptions: the controller's overload escalation path. "If it were the case
+// that there was not sufficient CPU to satisfy all the jobs, the queue would eventually
+// become full and trigger a quality exception, allowing the application to adapt by
+// lowering its resource requirements."
+#ifndef REALRATE_CORE_QUALITY_H_
+#define REALRATE_CORE_QUALITY_H_
+
+#include <functional>
+
+#include "queue/bounded_buffer.h"
+#include "task/thread.h"
+#include "util/time.h"
+
+namespace realrate {
+
+struct QualityException {
+  TimePoint when;
+  SimThread* thread = nullptr;
+  // The saturated queue that evidences the starvation (full for a consumer that cannot
+  // keep up, empty for a producer that cannot fill).
+  BoundedBuffer* queue = nullptr;
+};
+
+// Applications register a handler to renegotiate (lower their rate, drop quality...).
+using QualityExceptionFn = std::function<void(const QualityException&)>;
+
+}  // namespace realrate
+
+#endif  // REALRATE_CORE_QUALITY_H_

@@ -1,0 +1,80 @@
+#include "exp/sampler.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+Sampler::Sampler(Simulator& sim, Duration period) : sim_(sim), period_(period) {
+  RR_EXPECTS(period.IsPositive());
+}
+
+void Sampler::AddProbe(std::string name, Probe probe) {
+  RR_EXPECTS(!started_);
+  RR_EXPECTS(probe != nullptr);
+  auto channel = std::make_unique<Channel>();
+  channel->name = name;
+  channel->probe = std::move(probe);
+  channel->series = TimeSeries(std::move(name));
+  channels_.push_back(std::move(channel));
+}
+
+void Sampler::AddRateProbe(std::string name, std::function<int64_t()> counter) {
+  rate_states_.push_back(std::make_unique<RateState>());
+  RateState* state = rate_states_.back().get();
+  const double per_second = 1.0 / period_.ToSeconds();
+  AddProbe(std::move(name), [state, counter = std::move(counter), per_second]() {
+    const int64_t current = counter();
+    if (!state->primed) {
+      state->primed = true;
+      state->last = current;
+      return 0.0;
+    }
+    const int64_t delta = current - state->last;
+    state->last = current;
+    return static_cast<double>(delta) * per_second;
+  });
+}
+
+void Sampler::Start() {
+  RR_EXPECTS(!started_);
+  started_ = true;
+  ScheduleNext();
+}
+
+void Sampler::ScheduleNext() {
+  sim_.ScheduleAfter(period_, [this] {
+    SampleOnce();
+    ScheduleNext();
+  });
+}
+
+void Sampler::SampleOnce() {
+  const TimePoint now = sim_.Now();
+  for (auto& channel : channels_) {
+    channel->series.Add(now, channel->probe());
+  }
+}
+
+const TimeSeries& Sampler::Series(const std::string& name) const {
+  for (const auto& channel : channels_) {
+    if (channel->name == name) {
+      return channel->series;
+    }
+  }
+  RR_CHECK(false);  // Unknown series name.
+  static const TimeSeries kEmpty;
+  return kEmpty;
+}
+
+std::vector<const TimeSeries*> Sampler::AllSeries() const {
+  std::vector<const TimeSeries*> out;
+  out.reserve(channels_.size());
+  for (const auto& channel : channels_) {
+    out.push_back(&channel->series);
+  }
+  return out;
+}
+
+}  // namespace realrate

@@ -1,0 +1,58 @@
+// Sampler: records named scalar probes into TimeSeries on a fixed virtual-time period.
+// The experiment harness's measurement instrument (fill levels, allocations, progress
+// rates).
+#ifndef REALRATE_EXP_SAMPLER_H_
+#define REALRATE_EXP_SAMPLER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/time_series.h"
+
+namespace realrate {
+
+class Sampler {
+ public:
+  using Probe = std::function<double()>;
+
+  Sampler(Simulator& sim, Duration period);
+
+  // Registers a probe; its values land in the series of the same name.
+  void AddProbe(std::string name, Probe probe);
+
+  // Convenience: a probe reporting the rate of change of a monotone counter (units/sec
+  // computed over the sampling period) — used for progress rates in bytes/sec.
+  void AddRateProbe(std::string name, std::function<int64_t()> counter);
+
+  void Start();
+
+  const TimeSeries& Series(const std::string& name) const;
+  std::vector<const TimeSeries*> AllSeries() const;
+
+ private:
+  struct Channel {
+    std::string name;
+    Probe probe;
+    TimeSeries series;
+  };
+  struct RateState {
+    int64_t last = 0;
+    bool primed = false;
+  };
+
+  void SampleOnce();
+  void ScheduleNext();
+
+  Simulator& sim_;
+  Duration period_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<RateState>> rate_states_;
+  bool started_ = false;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_EXP_SAMPLER_H_

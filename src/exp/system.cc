@@ -1,0 +1,34 @@
+#include "exp/system.h"
+
+#include <utility>
+
+namespace realrate {
+
+System::System(const SystemConfig& config)
+    : sim_(std::make_unique<Simulator>(config.cpu)),
+      rbs_(std::make_unique<RbsScheduler>(sim_->cpu(), config.rbs)),
+      machine_(std::make_unique<Machine>(*sim_, *rbs_, threads_, config.machine)),
+      controller_(std::make_unique<FeedbackAllocator>(*machine_, *rbs_, queues_,
+                                                      config.controller)),
+      start_controller_(config.start_controller) {}
+
+BoundedBuffer* System::CreateQueue(std::string name, int64_t capacity_bytes) {
+  BoundedBuffer* q = queues_.CreateQueue(std::move(name), capacity_bytes);
+  machine_->Attach(q);
+  return q;
+}
+
+SimThread* System::Spawn(std::string name, std::unique_ptr<WorkModel> work) {
+  SimThread* t = threads_.Create(std::move(name), std::move(work));
+  machine_->Attach(t);
+  return t;
+}
+
+void System::Start() {
+  machine_->Start();
+  if (start_controller_) {
+    controller_->Start();
+  }
+}
+
+}  // namespace realrate

@@ -1,0 +1,65 @@
+// System: one fully wired simulated machine — simulator, registries, RBS scheduler,
+// dispatch machine, and feedback controller. The standard entry point for examples,
+// integration tests and benches.
+#ifndef REALRATE_EXP_SYSTEM_H_
+#define REALRATE_EXP_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "core/controller.h"
+#include "queue/registry.h"
+#include "sched/machine.h"
+#include "sched/rbs.h"
+#include "sim/simulator.h"
+#include "task/registry.h"
+
+namespace realrate {
+
+struct SystemConfig {
+  CpuConfig cpu;
+  MachineConfig machine;
+  RbsConfig rbs;
+  ControllerConfig controller;
+  // If false the controller is constructed but never scheduled (Fig. 8 measures the
+  // dispatcher alone).
+  bool start_controller = true;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config = SystemConfig{});
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  Simulator& sim() { return *sim_; }
+  ThreadRegistry& threads() { return threads_; }
+  QueueRegistry& queues() { return queues_; }
+  RbsScheduler& rbs() { return *rbs_; }
+  Machine& machine() { return *machine_; }
+  FeedbackAllocator& controller() { return *controller_; }
+
+  // Creates a queue and wires its wake callback to the machine.
+  BoundedBuffer* CreateQueue(std::string name, int64_t capacity_bytes);
+
+  // Creates a thread, registers it with the registry, and attaches it to the scheduler.
+  SimThread* Spawn(std::string name, std::unique_ptr<WorkModel> work);
+
+  // Starts machine (and controller unless disabled). Call once, then RunFor().
+  void Start();
+  void RunFor(Duration d) { sim_->RunFor(d); }
+
+ private:
+  std::unique_ptr<Simulator> sim_;
+  ThreadRegistry threads_;
+  QueueRegistry queues_;
+  std::unique_ptr<RbsScheduler> rbs_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<FeedbackAllocator> controller_;
+  bool start_controller_;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_EXP_SYSTEM_H_

@@ -1,0 +1,84 @@
+// BoundedBuffer: the canonical symbiotic interface of the paper. A byte-counted queue
+// between a producer and a consumer that exposes exactly what the kernel-side monitor
+// needs: fill level, size, and each endpoint's role. Models shared-memory queues, pipes
+// and sockets uniformly (the controller never looks deeper than fill/size/role).
+#ifndef REALRATE_QUEUE_BOUNDED_BUFFER_H_
+#define REALRATE_QUEUE_BOUNDED_BUFFER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/types.h"
+
+namespace realrate {
+
+class BoundedBuffer {
+ public:
+  using WakeFn = std::function<void(ThreadId)>;
+
+  BoundedBuffer(QueueId id, std::string name, int64_t capacity_bytes);
+
+  QueueId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  int64_t capacity() const { return capacity_; }
+  int64_t fill() const { return fill_; }
+  bool Empty() const { return fill_ == 0; }
+  bool Full() const { return fill_ == capacity_; }
+
+  // Fill level as a fraction in [0, 1].
+  double FillFraction() const { return static_cast<double>(fill_) / static_cast<double>(capacity_); }
+
+  // The paper's progress metric F = fill/size - 1/2, in [-1/2, +1/2] (Figure 3).
+  double PressureMetric() const { return FillFraction() - 0.5; }
+
+  // Installed by the machine so queue state changes can wake blocked threads.
+  void SetWakeFn(WakeFn fn) { wake_fn_ = std::move(fn); }
+
+  // Attempts to append `bytes`. Returns false (and changes nothing) if it doesn't fit.
+  // On success, wakes all waiting consumers.
+  bool TryPush(int64_t bytes);
+  // Attempts to remove up to `bytes`; returns the number removed (0 when empty).
+  // On any removal, wakes all waiting producers.
+  int64_t TryPop(int64_t bytes);
+  // Removes exactly `bytes` or nothing. Returns whether it removed.
+  bool TryPopExact(int64_t bytes);
+
+  // Registers the calling thread as waiting for space (producer) or data (consumer).
+  // The machine marks the thread blocked; a later TryPush/TryPop wakes it.
+  void WaitForSpace(ThreadId thread);
+  void WaitForData(ThreadId thread);
+
+  // Total bytes ever pushed/popped (progress counters for experiments).
+  int64_t total_pushed() const { return total_pushed_; }
+  int64_t total_popped() const { return total_popped_; }
+
+  // Saturation evidence for the controller's quality-exception detector: number of
+  // operations that found the queue too full (failed push) or too empty (pop that got
+  // nothing / failed exact pop).
+  int64_t full_hits() const { return full_hits_; }
+  int64_t empty_hits() const { return empty_hits_; }
+
+  const std::vector<ThreadId>& waiting_producers() const { return waiting_producers_; }
+  const std::vector<ThreadId>& waiting_consumers() const { return waiting_consumers_; }
+
+ private:
+  void WakeAll(std::vector<ThreadId>& waiters);
+
+  const QueueId id_;
+  const std::string name_;
+  const int64_t capacity_;
+  int64_t fill_ = 0;
+  int64_t total_pushed_ = 0;
+  int64_t total_popped_ = 0;
+  int64_t full_hits_ = 0;
+  int64_t empty_hits_ = 0;
+  WakeFn wake_fn_;
+  std::vector<ThreadId> waiting_producers_;
+  std::vector<ThreadId> waiting_consumers_;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_QUEUE_BOUNDED_BUFFER_H_

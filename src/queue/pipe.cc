@@ -1,0 +1,48 @@
+#include "queue/pipe.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+SimPipe::SimPipe(QueueRegistry& registry, std::string name, int64_t capacity_bytes)
+    : registry_(registry),
+      buffer_(registry.CreateQueue(std::move(name), capacity_bytes)) {}
+
+void SimPipe::AttachWriter(ThreadId thread) {
+  RR_EXPECTS(thread != kInvalidThreadId);
+  RR_EXPECTS(writer_ == kInvalidThreadId);
+  writer_ = thread;
+  registry_.Register(buffer_, thread, QueueRole::kProducer);
+}
+
+void SimPipe::AttachReader(ThreadId thread) {
+  RR_EXPECTS(thread != kInvalidThreadId);
+  RR_EXPECTS(reader_ == kInvalidThreadId);
+  reader_ = thread;
+  registry_.Register(buffer_, thread, QueueRole::kConsumer);
+}
+
+SimSocket::SimSocket(QueueRegistry& registry, std::string name, int64_t buffer_bytes)
+    : registry_(registry),
+      a_to_b_(registry.CreateQueue(name + ":a>b", buffer_bytes)),
+      b_to_a_(registry.CreateQueue(name + ":b>a", buffer_bytes)) {}
+
+void SimSocket::AttachEndpointA(ThreadId thread) {
+  RR_EXPECTS(thread != kInvalidThreadId);
+  RR_EXPECTS(a_ == kInvalidThreadId);
+  a_ = thread;
+  registry_.Register(a_to_b_, thread, QueueRole::kProducer);
+  registry_.Register(b_to_a_, thread, QueueRole::kConsumer);
+}
+
+void SimSocket::AttachEndpointB(ThreadId thread) {
+  RR_EXPECTS(thread != kInvalidThreadId);
+  RR_EXPECTS(b_ == kInvalidThreadId);
+  b_ = thread;
+  registry_.Register(a_to_b_, thread, QueueRole::kConsumer);
+  registry_.Register(b_to_a_, thread, QueueRole::kProducer);
+}
+
+}  // namespace realrate

@@ -1,0 +1,73 @@
+// Pipe and socket symbiotic wrappers (§3.2): "Pipes and sockets are effectively queues
+// managed by the kernel as part of the abstraction. By exposing the fill-level, size,
+// and role of the application, the scheduler can determine the relative rate of
+// progress of the application ... We have implemented a shared-queue library that
+// performs this linkage automatically, and have extended the in-kernel pipe and socket
+// implementation to provide this linkage."
+//
+// SimPipe is a unidirectional byte stream; SimSocket is a duplex pair of buffers. Both
+// perform the meta-interface registration automatically when an endpoint attaches —
+// the application never talks to the QueueRegistry itself.
+#ifndef REALRATE_QUEUE_PIPE_H_
+#define REALRATE_QUEUE_PIPE_H_
+
+#include <string>
+
+#include "queue/bounded_buffer.h"
+#include "queue/registry.h"
+#include "util/types.h"
+
+namespace realrate {
+
+// A unix-style pipe: one writer end, one reader end, automatic linkage.
+class SimPipe {
+ public:
+  // Creates the underlying kernel buffer inside `registry`.
+  SimPipe(QueueRegistry& registry, std::string name, int64_t capacity_bytes);
+
+  // Endpoint attachment registers the linkage (the "meta-interface system call").
+  // Each end may be attached once.
+  void AttachWriter(ThreadId thread);
+  void AttachReader(ThreadId thread);
+
+  BoundedBuffer* buffer() { return buffer_; }
+  ThreadId writer() const { return writer_; }
+  ThreadId reader() const { return reader_; }
+
+  // Convenience forwarding of the buffer operations.
+  bool TryWrite(int64_t bytes) { return buffer_->TryPush(bytes); }
+  int64_t TryRead(int64_t bytes) { return buffer_->TryPop(bytes); }
+
+ private:
+  QueueRegistry& registry_;
+  BoundedBuffer* buffer_;
+  ThreadId writer_ = kInvalidThreadId;
+  ThreadId reader_ = kInvalidThreadId;
+};
+
+// A connected socket: two independent byte streams (a->b and b->a), each end
+// registered as producer of its send direction and consumer of its receive direction.
+class SimSocket {
+ public:
+  SimSocket(QueueRegistry& registry, std::string name, int64_t buffer_bytes);
+
+  // Attaches the two endpoints; registers all four linkages.
+  void AttachEndpointA(ThreadId thread);
+  void AttachEndpointB(ThreadId thread);
+
+  BoundedBuffer* a_to_b() { return a_to_b_; }
+  BoundedBuffer* b_to_a() { return b_to_a_; }
+  ThreadId endpoint_a() const { return a_; }
+  ThreadId endpoint_b() const { return b_; }
+
+ private:
+  QueueRegistry& registry_;
+  BoundedBuffer* a_to_b_;
+  BoundedBuffer* b_to_a_;
+  ThreadId a_ = kInvalidThreadId;
+  ThreadId b_ = kInvalidThreadId;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_QUEUE_PIPE_H_

@@ -1,0 +1,63 @@
+#include "queue/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+BoundedBuffer* QueueRegistry::CreateQueue(std::string name, int64_t capacity_bytes) {
+  const auto id = static_cast<QueueId>(queues_.size());
+  queues_.push_back(std::make_unique<BoundedBuffer>(id, std::move(name), capacity_bytes));
+  return queues_.back().get();
+}
+
+void QueueRegistry::Register(BoundedBuffer* queue, ThreadId thread, QueueRole role) {
+  RR_EXPECTS(queue != nullptr);
+  RR_EXPECTS(thread != kInvalidThreadId);
+  linkages_.push_back({queue, thread, role});
+}
+
+void QueueRegistry::Unregister(ThreadId thread) {
+  linkages_.erase(std::remove_if(linkages_.begin(), linkages_.end(),
+                                 [thread](const QueueLinkage& l) { return l.thread == thread; }),
+                  linkages_.end());
+}
+
+std::vector<QueueLinkage> QueueRegistry::LinkagesFor(ThreadId thread) const {
+  std::vector<QueueLinkage> out;
+  for (const QueueLinkage& l : linkages_) {
+    if (l.thread == thread) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+bool QueueRegistry::HasMetrics(ThreadId thread) const {
+  for (const QueueLinkage& l : linkages_) {
+    if (l.thread == thread) {
+      return true;
+    }
+  }
+  return false;
+}
+
+BoundedBuffer* QueueRegistry::Find(QueueId id) {
+  if (id < 0 || static_cast<size_t>(id) >= queues_.size()) {
+    return nullptr;
+  }
+  return queues_[id].get();
+}
+
+std::vector<BoundedBuffer*> QueueRegistry::AllQueues() {
+  std::vector<BoundedBuffer*> out;
+  out.reserve(queues_.size());
+  for (auto& q : queues_) {
+    out.push_back(q.get());
+  }
+  return out;
+}
+
+}  // namespace realrate

@@ -1,0 +1,54 @@
+// QueueRegistry: the paper's meta-interface. "When an application initializes a
+// symbiotic interface ... the interface creates a linkage to the kernel using a
+// meta-interface system call that registers the queue and the application's use of that
+// queue (producer or consumer)." The controller walks these linkages to compute
+// progress pressure.
+#ifndef REALRATE_QUEUE_REGISTRY_H_
+#define REALRATE_QUEUE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "queue/bounded_buffer.h"
+#include "util/types.h"
+
+namespace realrate {
+
+// One end of a registered queue: which thread plays which role.
+struct QueueLinkage {
+  BoundedBuffer* queue = nullptr;
+  ThreadId thread = kInvalidThreadId;
+  QueueRole role = QueueRole::kProducer;
+};
+
+class QueueRegistry {
+ public:
+  // Creates a buffer owned by the registry.
+  BoundedBuffer* CreateQueue(std::string name, int64_t capacity_bytes);
+
+  // Registers `thread` as `role` of `queue` (the meta-interface system call). A thread
+  // may be linked to several queues (pipeline stages are consumer of one, producer of
+  // the next).
+  void Register(BoundedBuffer* queue, ThreadId thread, QueueRole role);
+  // Removes all linkages for `thread` (e.g. on exit).
+  void Unregister(ThreadId thread);
+
+  // All linkages for one thread, in registration order.
+  std::vector<QueueLinkage> LinkagesFor(ThreadId thread) const;
+  // Whether the thread has any registered progress metric.
+  bool HasMetrics(ThreadId thread) const;
+
+  const std::vector<QueueLinkage>& linkages() const { return linkages_; }
+  BoundedBuffer* Find(QueueId id);
+  size_t queue_count() const { return queues_.size(); }
+  std::vector<BoundedBuffer*> AllQueues();
+
+ private:
+  std::vector<std::unique_ptr<BoundedBuffer>> queues_;
+  std::vector<QueueLinkage> linkages_;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_QUEUE_REGISTRY_H_

@@ -1,0 +1,37 @@
+#include "queue/sim_mutex.h"
+
+#include "util/assert.h"
+
+namespace realrate {
+
+bool SimMutex::TryLock(ThreadId thread) {
+  RR_EXPECTS(thread != kInvalidThreadId);
+  RR_EXPECTS(owner_ != thread);  // No recursive locking in the model.
+  if (owner_ == kInvalidThreadId) {
+    owner_ = thread;
+    return true;
+  }
+  return false;
+}
+
+void SimMutex::WaitFor(ThreadId thread) {
+  RR_EXPECTS(thread != kInvalidThreadId);
+  RR_EXPECTS(owner_ != kInvalidThreadId);
+  waiters_.push_back(thread);
+}
+
+void SimMutex::Unlock(ThreadId thread) {
+  RR_EXPECTS(owner_ == thread);
+  if (waiters_.empty()) {
+    owner_ = kInvalidThreadId;
+    return;
+  }
+  // Direct handoff: the first waiter becomes the owner and is woken.
+  owner_ = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  if (wake_fn_) {
+    wake_fn_(owner_);
+  }
+}
+
+}  // namespace realrate

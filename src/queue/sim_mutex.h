@@ -1,0 +1,47 @@
+// A simulated mutex with FIFO waiters. Exists to reproduce the Mars Pathfinder
+// priority-inversion scenario from the paper's motivation section under the baseline
+// fixed-priority scheduler, and to show the feedback allocator avoids it.
+#ifndef REALRATE_QUEUE_SIM_MUTEX_H_
+#define REALRATE_QUEUE_SIM_MUTEX_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace realrate {
+
+class SimMutex {
+ public:
+  using WakeFn = std::function<void(ThreadId)>;
+
+  explicit SimMutex(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  bool IsHeld() const { return owner_ != kInvalidThreadId; }
+  ThreadId owner() const { return owner_; }
+
+  void SetWakeFn(WakeFn fn) { wake_fn_ = std::move(fn); }
+
+  // Acquires if free; returns true. Otherwise returns false (caller should block and
+  // call WaitFor).
+  bool TryLock(ThreadId thread);
+  // Registers `thread` as waiting; woken FIFO on unlock.
+  void WaitFor(ThreadId thread);
+  // Releases. Requires the caller to be the owner. Hands ownership to the first waiter
+  // (if any) and wakes it.
+  void Unlock(ThreadId thread);
+
+  size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  const std::string name_;
+  ThreadId owner_ = kInvalidThreadId;
+  std::vector<ThreadId> waiters_;
+  WakeFn wake_fn_;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_QUEUE_SIM_MUTEX_H_

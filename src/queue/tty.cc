@@ -1,0 +1,36 @@
+#include "queue/tty.h"
+
+#include "util/assert.h"
+
+namespace realrate {
+
+void TtyPort::PushInput(TimePoint now) {
+  pending_.push_back(now);
+  ++total_events_;
+  if (!waiters_.empty()) {
+    std::vector<ThreadId> to_wake;
+    to_wake.swap(waiters_);
+    if (wake_fn_) {
+      for (ThreadId t : to_wake) {
+        wake_fn_(t);
+      }
+    }
+  }
+}
+
+bool TtyPort::PopInput(TimePoint now) {
+  if (pending_.empty()) {
+    return false;
+  }
+  const TimePoint arrival = pending_.front();
+  pending_.pop_front();
+  latencies_.push_back((now - arrival).ToSeconds());
+  return true;
+}
+
+void TtyPort::WaitForInput(ThreadId thread) {
+  RR_EXPECTS(thread != kInvalidThreadId);
+  waiters_.push_back(thread);
+}
+
+}  // namespace realrate

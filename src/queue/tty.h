@@ -1,0 +1,51 @@
+// TtyPort: event source for interactive jobs. "Interactive jobs are servers that
+// listen to ttys instead of sockets." Modeled as an unbounded event queue fed by a
+// simulated user; the interactive work model blocks on it between keystrokes. Also
+// records input->service latency so experiments can quantify interactive response.
+#ifndef REALRATE_QUEUE_TTY_H_
+#define REALRATE_QUEUE_TTY_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+#include "util/types.h"
+
+namespace realrate {
+
+class TtyPort {
+ public:
+  using WakeFn = std::function<void(ThreadId)>;
+
+  explicit TtyPort(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void SetWakeFn(WakeFn fn) { wake_fn_ = std::move(fn); }
+
+  // The simulated user types at time `now`; wakes the listener if blocked.
+  void PushInput(TimePoint now);
+  // The interactive job consumes one input event; records latency. Returns false when
+  // no input is pending.
+  bool PopInput(TimePoint now);
+  bool HasInput() const { return !pending_.empty(); }
+
+  void WaitForInput(ThreadId thread);
+
+  // Observed input->service latencies (seconds), for response-time experiments.
+  const std::vector<double>& latencies() const { return latencies_; }
+  int64_t total_events() const { return total_events_; }
+
+ private:
+  const std::string name_;
+  std::deque<TimePoint> pending_;
+  std::vector<double> latencies_;
+  std::vector<ThreadId> waiters_;
+  WakeFn wake_fn_;
+  int64_t total_events_ = 0;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_QUEUE_TTY_H_

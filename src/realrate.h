@@ -1,0 +1,59 @@
+// Umbrella header: the public API of the realrate library — a reproduction of
+// "A Feedback-driven Proportion Allocator for Real-Rate Scheduling" (Steere et al.,
+// OSDI 1999 / OGI TR 98-014).
+//
+// Layering (bottom to top):
+//   util      — time, stats, rng, series
+//   sim       — discrete-event simulator, CPU cost model, trace
+//   task      — threads and work models
+//   queue     — bounded buffers (symbiotic interfaces), meta-interface registry
+//   swift     — feedback-circuit toolkit (PID et al.)
+//   sched     — dispatch machine; RBS + baseline schedulers
+//   core      — the feedback proportion allocator (the paper's contribution)
+//   workloads — producer/consumer, hogs, servers, interactive jobs
+//   exp       — wired System, Sampler, and the paper's experiment scenarios
+#ifndef REALRATE_REALRATE_H_
+#define REALRATE_REALRATE_H_
+
+#include "core/controller.h"
+#include "core/overload.h"
+#include "core/period_estimator.h"
+#include "core/pressure.h"
+#include "core/progress_meter.h"
+#include "core/proportion_estimator.h"
+#include "core/quality.h"
+#include "exp/sampler.h"
+#include "exp/scenarios.h"
+#include "exp/system.h"
+#include "queue/bounded_buffer.h"
+#include "queue/pipe.h"
+#include "queue/registry.h"
+#include "queue/sim_mutex.h"
+#include "queue/tty.h"
+#include "sched/fixed_priority.h"
+#include "sched/lottery.h"
+#include "sched/machine.h"
+#include "sched/mlfq.h"
+#include "sched/rbs.h"
+#include "sched/scheduler.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "swift/analysis.h"
+#include "swift/circuit.h"
+#include "swift/components.h"
+#include "swift/pid.h"
+#include "task/registry.h"
+#include "task/thread.h"
+#include "task/work_model.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "util/time_series.h"
+#include "util/types.h"
+#include "workloads/adaptive_source.h"
+#include "workloads/misc_work.h"
+#include "workloads/producer_consumer.h"
+#include "workloads/rate_schedule.h"
+#include "workloads/server.h"
+
+#endif  // REALRATE_REALRATE_H_

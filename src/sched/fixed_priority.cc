@@ -1,0 +1,51 @@
+#include "sched/fixed_priority.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+void FixedPriorityScheduler::AddThread(SimThread* thread) {
+  RR_EXPECTS(thread != nullptr);
+  threads_.push_back(thread);
+}
+
+void FixedPriorityScheduler::RemoveThread(SimThread* thread) {
+  threads_.erase(std::remove(threads_.begin(), threads_.end(), thread), threads_.end());
+}
+
+void FixedPriorityScheduler::OnTick(TimePoint /*now*/) {
+  // Rotate the round-robin cursor so equal-priority threads alternate tick by tick.
+  if (!threads_.empty()) {
+    rr_cursor_ = (rr_cursor_ + 1) % threads_.size();
+  }
+}
+
+SimThread* FixedPriorityScheduler::PickNext(TimePoint /*now*/) {
+  SimThread* best = nullptr;
+  const size_t n = threads_.size();
+  for (size_t i = 0; i < n; ++i) {
+    SimThread* t = threads_[(rr_cursor_ + i) % n];
+    if (!t->IsRunnable()) {
+      continue;
+    }
+    if (best == nullptr || t->priority() > best->priority()) {
+      best = t;
+    }
+  }
+  return best;
+}
+
+Cycles FixedPriorityScheduler::MaxGrant(SimThread* /*thread*/, Cycles tick_remaining) {
+  return tick_remaining;
+}
+
+void FixedPriorityScheduler::OnRan(SimThread* /*thread*/, Cycles /*used*/, TimePoint /*now*/) {}
+
+std::optional<TimePoint> FixedPriorityScheduler::ThrottleUntil(SimThread* /*thread*/,
+                                                               TimePoint /*now*/) {
+  return std::nullopt;  // Fixed priorities never throttle: that is exactly the problem.
+}
+
+}  // namespace realrate

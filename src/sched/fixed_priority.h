@@ -1,0 +1,37 @@
+// FixedPriorityScheduler: POSIX-style fixed real-time priorities ("real-time"
+// priorities in Linux/Solaris/NT, per the paper's related work). The highest-priority
+// runnable thread always runs; equal priorities round-robin per tick. This is the
+// baseline that livelocks on the spin-waiting example in §2 and starves low-priority
+// threads — reproduced in bench_benefits_comparison.
+#ifndef REALRATE_SCHED_FIXED_PRIORITY_H_
+#define REALRATE_SCHED_FIXED_PRIORITY_H_
+
+#include <optional>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace realrate {
+
+class FixedPriorityScheduler : public Scheduler {
+ public:
+  FixedPriorityScheduler() = default;
+
+  const char* name() const override { return "fixed-priority"; }
+
+  void AddThread(SimThread* thread) override;
+  void RemoveThread(SimThread* thread) override;
+  void OnTick(TimePoint now) override;
+  SimThread* PickNext(TimePoint now) override;
+  Cycles MaxGrant(SimThread* thread, Cycles tick_remaining) override;
+  void OnRan(SimThread* thread, Cycles used, TimePoint now) override;
+  std::optional<TimePoint> ThrottleUntil(SimThread* thread, TimePoint now) override;
+
+ private:
+  std::vector<SimThread*> threads_;
+  size_t rr_cursor_ = 0;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_SCHED_FIXED_PRIORITY_H_

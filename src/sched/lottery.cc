@@ -1,0 +1,70 @@
+#include "sched/lottery.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+LotteryScheduler::LotteryScheduler(uint64_t seed) : rng_(seed) {}
+
+void LotteryScheduler::AddThread(SimThread* thread) {
+  RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(thread->tickets() > 0);
+  threads_.push_back(thread);
+}
+
+void LotteryScheduler::RemoveThread(SimThread* thread) {
+  threads_.erase(std::remove(threads_.begin(), threads_.end(), thread), threads_.end());
+  if (tick_winner_ == thread) {
+    tick_winner_ = nullptr;
+  }
+}
+
+void LotteryScheduler::OnTick(TimePoint /*now*/) {
+  drawn_this_tick_ = false;
+  tick_winner_ = nullptr;
+}
+
+SimThread* LotteryScheduler::PickNext(TimePoint /*now*/) {
+  // One draw per tick; redispatch within the tick (after a block) redraws.
+  if (drawn_this_tick_ && tick_winner_ != nullptr && tick_winner_->IsRunnable()) {
+    return tick_winner_;
+  }
+  int64_t total = 0;
+  for (SimThread* t : threads_) {
+    if (t->IsRunnable()) {
+      total += t->tickets();
+    }
+  }
+  if (total == 0) {
+    return nullptr;
+  }
+  int64_t draw = static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(total)));
+  for (SimThread* t : threads_) {
+    if (!t->IsRunnable()) {
+      continue;
+    }
+    draw -= t->tickets();
+    if (draw < 0) {
+      tick_winner_ = t;
+      drawn_this_tick_ = true;
+      return t;
+    }
+  }
+  RR_CHECK(false);  // Unreachable: draw < total.
+  return nullptr;
+}
+
+Cycles LotteryScheduler::MaxGrant(SimThread* /*thread*/, Cycles tick_remaining) {
+  return tick_remaining;
+}
+
+void LotteryScheduler::OnRan(SimThread* /*thread*/, Cycles /*used*/, TimePoint /*now*/) {}
+
+std::optional<TimePoint> LotteryScheduler::ThrottleUntil(SimThread* /*thread*/,
+                                                         TimePoint /*now*/) {
+  return std::nullopt;
+}
+
+}  // namespace realrate

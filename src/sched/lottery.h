@@ -1,0 +1,40 @@
+// LotteryScheduler: Waldspurger & Weihl's proportional-share baseline (related work
+// [21]). Each tick holds a lottery among runnable threads weighted by tickets. Gives
+// probabilistic proportional share — used in benches to contrast its allocation
+// variance against the deterministic reservation scheduler (one of the paper's claimed
+// benefits is "lower variance in the amount of cycles allocated to a thread").
+#ifndef REALRATE_SCHED_LOTTERY_H_
+#define REALRATE_SCHED_LOTTERY_H_
+
+#include <optional>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "util/rng.h"
+
+namespace realrate {
+
+class LotteryScheduler : public Scheduler {
+ public:
+  explicit LotteryScheduler(uint64_t seed);
+
+  const char* name() const override { return "lottery"; }
+
+  void AddThread(SimThread* thread) override;
+  void RemoveThread(SimThread* thread) override;
+  void OnTick(TimePoint now) override;
+  SimThread* PickNext(TimePoint now) override;
+  Cycles MaxGrant(SimThread* thread, Cycles tick_remaining) override;
+  void OnRan(SimThread* thread, Cycles used, TimePoint now) override;
+  std::optional<TimePoint> ThrottleUntil(SimThread* thread, TimePoint now) override;
+
+ private:
+  std::vector<SimThread*> threads_;
+  Rng rng_;
+  SimThread* tick_winner_ = nullptr;  // Winner drawn once per tick.
+  bool drawn_this_tick_ = false;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_SCHED_LOTTERY_H_

@@ -1,0 +1,232 @@
+#include "sched/machine.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/log.h"
+
+namespace realrate {
+
+Machine::Machine(Simulator& sim, Scheduler& scheduler, ThreadRegistry& registry,
+                 const MachineConfig& config)
+    : sim_(sim), scheduler_(scheduler), registry_(registry), config_(config) {
+  RR_EXPECTS(config.dispatch_interval.IsPositive());
+  cycles_per_tick_ = sim_.cpu().DurationToCycles(config.dispatch_interval);
+  RR_EXPECTS(cycles_per_tick_ > 0);
+}
+
+void Machine::Start() {
+  RR_EXPECTS(!started_);
+  started_ = true;
+  sim_.ScheduleAfter(config_.dispatch_interval, [this] { Tick(); });
+}
+
+void Machine::Attach(SimThread* thread) {
+  RR_EXPECTS(thread != nullptr);
+  scheduler_.AddThread(thread);
+}
+
+void Machine::Attach(BoundedBuffer* queue) {
+  RR_EXPECTS(queue != nullptr);
+  queue->SetWakeFn([this](ThreadId id) { Wake(id); });
+}
+
+void Machine::Attach(SimMutex* mutex) {
+  RR_EXPECTS(mutex != nullptr);
+  mutex->SetWakeFn([this](ThreadId id) { Wake(id); });
+}
+
+void Machine::Attach(TtyPort* tty) {
+  RR_EXPECTS(tty != nullptr);
+  tty->SetWakeFn([this](ThreadId id) { Wake(id); });
+}
+
+void Machine::Wake(ThreadId thread_id) {
+  SimThread* thread = registry_.Find(thread_id);
+  if (thread == nullptr || thread->state() != ThreadState::kBlocked) {
+    return;  // Spurious or stale wake.
+  }
+  thread->set_state(ThreadState::kRunnable);
+  thread->set_last_wake_time(sim_.Now());
+  thread->work().OnWake(sim_.Now());
+  scheduler_.OnWake(thread, sim_.Now());
+  sim_.trace().Record(sim_.Now(), TraceKind::kWake, thread_id);
+}
+
+void Machine::SleepUntil(SimThread* thread, TimePoint wake_at) {
+  RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(wake_at >= sim_.Now());
+  thread->set_state(ThreadState::kSleeping);
+  const uint64_t gen = next_generation_++;
+  sleep_generation_[thread->id()] = gen;
+  sleepers_.push({wake_at, gen, thread->id()});
+}
+
+void Machine::CancelSleep(SimThread* thread) {
+  RR_EXPECTS(thread != nullptr);
+  if (thread->state() != ThreadState::kSleeping) {
+    return;
+  }
+  sleep_generation_.erase(thread->id());  // The heap entry becomes stale.
+  thread->set_state(ThreadState::kRunnable);
+  thread->set_last_wake_time(sim_.Now());
+  thread->work().OnWake(sim_.Now());
+  scheduler_.OnWake(thread, sim_.Now());
+  sim_.trace().Record(sim_.Now(), TraceKind::kWake, thread->id(), /*arg0=*/-2);
+}
+
+void Machine::StealCycles(CpuUse category, Cycles cycles) {
+  RR_EXPECTS(cycles >= 0);
+  sim_.cpu().Charge(category, cycles);
+  if (config_.charge_overheads) {
+    stolen_backlog_ += cycles;
+  }
+}
+
+void Machine::RunFor(Duration d) { sim_.RunFor(d); }
+
+void Machine::WakeExpiredSleepers(TimePoint now) {
+  Cpu& cpu = sim_.cpu();
+  bool any_expired = false;
+  while (!sleepers_.empty() && sleepers_.top().wake_at <= now) {
+    const SleepEntry entry = sleepers_.top();
+    sleepers_.pop();
+    auto it = sleep_generation_.find(entry.thread);
+    if (it == sleep_generation_.end() || it->second != entry.generation) {
+      continue;  // Stale entry: thread was re-slept or woken through another path.
+    }
+    sleep_generation_.erase(it);
+    SimThread* thread = registry_.Find(entry.thread);
+    if (thread == nullptr || thread->state() != ThreadState::kSleeping) {
+      continue;
+    }
+    any_expired = true;
+    if (config_.charge_overheads) {
+      StealCycles(CpuUse::kTimer, cpu.config().timer_expired_cycles);
+    }
+    thread->set_state(ThreadState::kRunnable);
+    thread->set_last_wake_time(now);
+    thread->work().OnWake(now);
+    scheduler_.OnWake(thread, now);
+    sim_.trace().Record(now, TraceKind::kWake, entry.thread, /*arg0=*/-1);
+  }
+  // The cached next-expiry means an interrupt that finds nothing expired does near-zero
+  // work ("this routine typically runs in constant time").
+  if (!any_expired && config_.charge_overheads) {
+    StealCycles(CpuUse::kTimer, cpu.config().timer_idle_cycles);
+  }
+}
+
+void Machine::Tick() {
+  const TimePoint now = sim_.Now();
+  ++ticks_;
+
+  WakeExpiredSleepers(now);
+  scheduler_.OnTick(now);
+
+  // Capacity of this tick, minus overhead backlog carried over (controller runs,
+  // timer/dispatch costs that exceeded a previous tick).
+  Cycles cycles_left = cycles_per_tick_;
+  const Cycles absorbed = std::min(stolen_backlog_, cycles_left);
+  cycles_left -= absorbed;
+  stolen_backlog_ -= absorbed;
+
+  DispatchLoop(now, cycles_left);
+
+  sim_.ScheduleAfter(config_.dispatch_interval, [this] { Tick(); });
+}
+
+void Machine::DispatchLoop(TimePoint now, Cycles cycles_left) {
+  Cpu& cpu = sim_.cpu();
+  const Cycles dispatch_cost =
+      config_.charge_overheads ? cpu.DispatchCostAt(dispatch_hz()) : 0;
+
+  while (cycles_left > 0) {
+    // schedule() runs at every dispatch point.
+    ++dispatches_;
+    if (config_.charge_overheads) {
+      cpu.Charge(CpuUse::kDispatch, dispatch_cost);
+      cycles_left -= std::min(dispatch_cost, cycles_left);
+      if (cycles_left == 0) {
+        break;
+      }
+    }
+
+    SimThread* pick = scheduler_.PickNext(now);
+    if (pick == nullptr) {
+      cpu.Charge(CpuUse::kIdle, cycles_left);
+      return;
+    }
+
+    if (pick != last_ran_) {
+      ++context_switches_;
+      if (config_.charge_overheads) {
+        const Cycles cs = cpu.config().context_switch_cycles;
+        cpu.Charge(CpuUse::kDispatch, cs);
+        cycles_left -= std::min(cs, cycles_left);
+        if (cycles_left == 0) {
+          last_ran_ = pick;
+          return;
+        }
+      }
+      last_ran_ = pick;
+    }
+
+    const Cycles grant = scheduler_.MaxGrant(pick, cycles_left);
+    RR_CHECK(grant > 0);
+
+    pick->set_state(ThreadState::kRunning);
+    const RunResult result = pick->work().Run(now, grant);
+    RR_CHECK(result.used >= 0 && result.used <= grant);
+    // A work model that consumes nothing must not claim to still be runnable, or the
+    // dispatch loop would spin forever.
+    RR_CHECK(result.used > 0 || result.next != RunResult::Next::kRunnable);
+
+    pick->OnRan(result.used);
+    cpu.Charge(CpuUse::kUser, result.used);
+    cycles_left -= result.used;
+    scheduler_.OnRan(pick, result.used, now);
+    sim_.trace().Record(now, TraceKind::kDispatch, pick->id(), result.used);
+
+    ApplyRunResult(pick, result, now);
+  }
+}
+
+void Machine::ApplyRunResult(SimThread* thread, const RunResult& result, TimePoint now) {
+  switch (result.next) {
+    case RunResult::Next::kRunnable:
+      thread->set_state(ThreadState::kRunnable);
+      break;
+    case RunResult::Next::kBlocked:
+      thread->set_state(ThreadState::kBlocked);
+      thread->OnBurstEnd();  // Ran-before-blocking measurement for interactive jobs.
+      scheduler_.OnBlock(thread, now);
+      sim_.trace().Record(now, TraceKind::kBlock, thread->id(), result.block_tag);
+      return;  // Throttling is irrelevant once off the run queue.
+    case RunResult::Next::kSleeping:
+      thread->set_state(ThreadState::kRunnable);  // SleepUntil flips it to kSleeping.
+      thread->OnBurstEnd();
+      SleepUntil(thread, std::max(result.wake_at, now));
+      scheduler_.OnBlock(thread, now);
+      return;
+    case RunResult::Next::kExited:
+      thread->set_state(ThreadState::kExited);
+      scheduler_.RemoveThread(thread);
+      sim_.trace().Record(now, TraceKind::kExit, thread->id());
+      if (last_ran_ == thread) {
+        last_ran_ = nullptr;
+      }
+      return;
+  }
+
+  // Budget enforcement: "when a thread has used its allocation for its period, it is
+  // put to sleep until its next period begins."
+  if (const auto throttle_until = scheduler_.ThrottleUntil(thread, now)) {
+    sim_.trace().Record(now, TraceKind::kBudgetExhausted, thread->id(),
+                        thread->cycles_this_period());
+    SleepUntil(thread, std::max(*throttle_until, now));
+    scheduler_.OnBlock(thread, now);
+  }
+}
+
+}  // namespace realrate

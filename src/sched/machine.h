@@ -1,0 +1,119 @@
+// Machine: the simulated kernel's dispatch engine. Owns the timer tick (the paper's
+// 1 ms dispatch interval), runs the scheduler at every dispatch point, executes thread
+// work models, applies blocking/sleeping/budget-throttling transitions, maintains the
+// sorted sleep list with a cached next expiry (the paper's do_timers() optimization),
+// and charges the CPU cost model for dispatch, context-switch and timer overheads so
+// overhead experiments (Fig. 5, Fig. 8) measure real capacity loss.
+#ifndef REALRATE_SCHED_MACHINE_H_
+#define REALRATE_SCHED_MACHINE_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "queue/bounded_buffer.h"
+#include "queue/sim_mutex.h"
+#include "queue/tty.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "task/registry.h"
+
+namespace realrate {
+
+struct MachineConfig {
+  // The dispatch interval (upper-bounded by the timer interval; 1 ms in the paper).
+  Duration dispatch_interval = Duration::Millis(1);
+  // If false, dispatch/context-switch/timer costs are not deducted from capacity
+  // (useful for pure-policy unit tests that want exact cycle math).
+  bool charge_overheads = true;
+};
+
+class Machine {
+ public:
+  Machine(Simulator& sim, Scheduler& scheduler, ThreadRegistry& registry,
+          const MachineConfig& config = MachineConfig{});
+
+  // Schedules the first tick. Call once before Simulator::Run*.
+  void Start();
+
+  Simulator& sim() { return sim_; }
+  Scheduler& scheduler() { return scheduler_; }
+  ThreadRegistry& registry() { return registry_; }
+  const MachineConfig& config() const { return config_; }
+  double dispatch_hz() const { return 1.0 / config_.dispatch_interval.ToSeconds(); }
+
+  // Adds a thread to the scheduler (it must already be in the registry).
+  void Attach(SimThread* thread);
+
+  // Wires a wait object's wake callback to this machine.
+  void Attach(BoundedBuffer* queue);
+  void Attach(SimMutex* mutex);
+  void Attach(TtyPort* tty);
+
+  // Wakes a blocked thread (queue/mutex/tty callbacks land here). Waking a thread that
+  // is not blocked is a no-op (spurious wake).
+  void Wake(ThreadId thread_id);
+
+  // Puts `thread` (currently runnable) to sleep until `wake_at`.
+  void SleepUntil(SimThread* thread, TimePoint wake_at);
+
+  // Wakes a sleeping thread before its timer expires (e.g. the controller raised its
+  // budget mid-period). No-op unless the thread is kSleeping.
+  void CancelSleep(SimThread* thread);
+
+  // Deducts external overhead (e.g. the user-level controller's computation) from the
+  // capacity of upcoming ticks and charges the given accounting category.
+  void StealCycles(CpuUse category, Cycles cycles);
+
+  // Convenience: run the simulation for `d` of virtual time.
+  void RunFor(Duration d);
+
+  // --- Introspection for tests and experiments ---
+  int64_t dispatches() const { return dispatches_; }
+  int64_t context_switches() const { return context_switches_; }
+  int64_t ticks() const { return ticks_; }
+  Cycles cycles_per_tick() const { return cycles_per_tick_; }
+
+ private:
+  struct SleepEntry {
+    TimePoint wake_at;
+    uint64_t generation;
+    ThreadId thread;
+    bool operator>(const SleepEntry& other) const {
+      if (wake_at != other.wake_at) {
+        return wake_at > other.wake_at;
+      }
+      return generation > other.generation;
+    }
+  };
+
+  void Tick();
+  void WakeExpiredSleepers(TimePoint now);
+  // Runs work for up to `cycles_left`; returns cycles actually consumed (work +
+  // overheads). One iteration of the intra-tick dispatch loop.
+  void DispatchLoop(TimePoint now, Cycles cycles_left);
+  void ApplyRunResult(SimThread* thread, const RunResult& result, TimePoint now);
+
+  Simulator& sim_;
+  Scheduler& scheduler_;
+  ThreadRegistry& registry_;
+  MachineConfig config_;
+  Cycles cycles_per_tick_ = 0;
+
+  std::priority_queue<SleepEntry, std::vector<SleepEntry>, std::greater<SleepEntry>> sleepers_;
+  std::unordered_map<ThreadId, uint64_t> sleep_generation_;
+  uint64_t next_generation_ = 1;
+
+  SimThread* last_ran_ = nullptr;
+  Cycles stolen_backlog_ = 0;
+
+  int64_t dispatches_ = 0;
+  int64_t context_switches_ = 0;
+  int64_t ticks_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_SCHED_MACHINE_H_

@@ -1,0 +1,103 @@
+#include "sched/mlfq.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+MlfqScheduler::MlfqScheduler(const Cpu& cpu, Duration tick, const MlfqConfig& config)
+    : cpu_(cpu), tick_(tick), config_(config) {
+  RR_EXPECTS(tick.IsPositive());
+}
+
+void MlfqScheduler::AddThread(SimThread* thread) {
+  RR_EXPECTS(thread != nullptr);
+  if (thread->priority() == 0) {
+    thread->set_priority(config_.default_priority);
+  }
+  thread->set_counter(thread->priority());
+  threads_.push_back(thread);
+}
+
+void MlfqScheduler::RemoveThread(SimThread* thread) {
+  threads_.erase(std::remove(threads_.begin(), threads_.end(), thread), threads_.end());
+}
+
+void MlfqScheduler::OnTick(TimePoint /*now*/) {}
+
+int64_t MlfqScheduler::Goodness(const SimThread* thread) const {
+  if (thread->counter() <= 0) {
+    return 0;
+  }
+  return thread->counter() + thread->priority();
+}
+
+void MlfqScheduler::RecalculateCounters() {
+  ++recalculations_;
+  // Linux 2.x: "If all threads on the run-queue have a zero goodness value, Linux
+  // recalculates goodness for all threads in the system."
+  for (SimThread* t : threads_) {
+    const int updated = t->counter() / 2 + t->priority();
+    t->set_counter(std::min(updated, config_.max_counter));
+  }
+}
+
+SimThread* MlfqScheduler::PickNext(TimePoint /*now*/) {
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    SimThread* best = nullptr;
+    int64_t best_goodness = 0;
+    bool any_runnable = false;
+    for (SimThread* t : threads_) {
+      if (!t->IsRunnable()) {
+        continue;
+      }
+      any_runnable = true;
+      const int64_t g = Goodness(t);
+      if (g > best_goodness) {
+        best = t;
+        best_goodness = g;
+      }
+    }
+    if (best != nullptr) {
+      return best;
+    }
+    if (!any_runnable) {
+      return nullptr;
+    }
+    RecalculateCounters();
+  }
+  return nullptr;  // All runnable threads have zero priority (degenerate config).
+}
+
+Cycles MlfqScheduler::MaxGrant(SimThread* thread, Cycles tick_remaining) {
+  // A thread may run at most its remaining slice (counter ticks).
+  const Cycles per_tick = cpu_.DurationToCycles(tick_);
+  const Cycles accum = (thread == slice_owner_) ? run_accum_ : 0;
+  const Cycles slice = static_cast<Cycles>(thread->counter()) * per_tick - accum;
+  return std::clamp<Cycles>(slice, 0, tick_remaining);
+}
+
+void MlfqScheduler::OnRan(SimThread* thread, Cycles used, TimePoint /*now*/) {
+  // Decrement the counter once per whole tick of accumulated run time. The accumulator
+  // tracks a single slice owner; a different thread starts a fresh slice.
+  if (thread != slice_owner_) {
+    slice_owner_ = thread;
+    run_accum_ = 0;
+  }
+  run_accum_ += used;
+  const Cycles per_tick = cpu_.DurationToCycles(tick_);
+  while (run_accum_ >= per_tick && thread->counter() > 0) {
+    run_accum_ -= per_tick;
+    thread->set_counter(thread->counter() - 1);
+  }
+  if (thread->counter() == 0) {
+    run_accum_ = 0;
+  }
+}
+
+std::optional<TimePoint> MlfqScheduler::ThrottleUntil(SimThread* /*thread*/, TimePoint /*now*/) {
+  return std::nullopt;  // MLFQ never sleeps threads; exhausted slices just lose goodness.
+}
+
+}  // namespace realrate

@@ -1,0 +1,56 @@
+// MlfqScheduler: the Linux 2.x multi-level-feedback baseline the paper builds on and
+// argues against. One run queue; goodness = remaining time-slice counter + priority;
+// when every runnable thread's counter reaches zero, counters for ALL threads are
+// recalculated as counter = counter/2 + priority (so sleepers accumulate a boost —
+// the classic "decrease the priority of CPU-bound jobs" kludge from §2).
+#ifndef REALRATE_SCHED_MLFQ_H_
+#define REALRATE_SCHED_MLFQ_H_
+
+#include <optional>
+#include <vector>
+
+#include "sched/scheduler.h"
+#include "sim/cpu.h"
+
+namespace realrate {
+
+struct MlfqConfig {
+  // Default time slice in ticks (Linux 2.0: ~200 ms with 10 ms ticks => 20).
+  int default_priority = 20;
+  // Cap on the counter a long-time sleeper can accumulate.
+  int max_counter = 2 * 20;
+};
+
+class MlfqScheduler : public Scheduler {
+ public:
+  MlfqScheduler(const Cpu& cpu, Duration tick, const MlfqConfig& config = MlfqConfig{});
+
+  const char* name() const override { return "mlfq"; }
+
+  void AddThread(SimThread* thread) override;
+  void RemoveThread(SimThread* thread) override;
+  void OnTick(TimePoint now) override;
+  SimThread* PickNext(TimePoint now) override;
+  Cycles MaxGrant(SimThread* thread, Cycles tick_remaining) override;
+  void OnRan(SimThread* thread, Cycles used, TimePoint now) override;
+  std::optional<TimePoint> ThrottleUntil(SimThread* thread, TimePoint now) override;
+
+  // goodness(): counter-based; 0 when the slice is used up.
+  int64_t Goodness(const SimThread* thread) const;
+  int64_t recalculations() const { return recalculations_; }
+
+ private:
+  void RecalculateCounters();
+
+  const Cpu& cpu_;
+  const Duration tick_;
+  MlfqConfig config_;
+  std::vector<SimThread*> threads_;
+  SimThread* slice_owner_ = nullptr;
+  Cycles run_accum_ = 0;  // Cycles the current slice owner has consumed toward one tick.
+  int64_t recalculations_ = 0;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_SCHED_MLFQ_H_

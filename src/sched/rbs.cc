@@ -1,0 +1,205 @@
+#include "sched/rbs.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+namespace {
+// Reserved threads always outrank non-reserved ones. The goodness of a reserved thread
+// with remaining budget is this base plus a rate-monotonic bonus; non-reserved threads
+// score in [1, kRmBase).
+constexpr int64_t kRmBase = int64_t{1} << 40;
+}  // namespace
+
+RbsScheduler::RbsScheduler(const Cpu& cpu, const RbsConfig& config) : cpu_(cpu), config_(config) {}
+
+void RbsScheduler::AddThread(SimThread* thread) {
+  RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(std::find(threads_.begin(), threads_.end(), thread) == threads_.end());
+  threads_.push_back(thread);
+}
+
+void RbsScheduler::RemoveThread(SimThread* thread) {
+  threads_.erase(std::remove(threads_.begin(), threads_.end(), thread), threads_.end());
+}
+
+Cycles RbsScheduler::PeriodBudget(const SimThread* thread) const {
+  return static_cast<Cycles>(thread->proportion().ToFraction() *
+                             static_cast<double>(cpu_.DurationToCycles(thread->period())));
+}
+
+void RbsScheduler::Replenish(SimThread* thread, TimePoint now) {
+  // Advance whole periods until `now` falls inside the current one.
+  TimePoint start = thread->period_start();
+  const Duration period = thread->period();
+  if (now < start + period) {
+    return;
+  }
+  // Deadline check for the period that just closed: a thread that was runnable for the
+  // whole period (it did not wake mid-period) and is still runnable at the boundary
+  // wanted more CPU than it received; if it also fell short of the budget it was
+  // entitled to at the period's start, the scheduler failed to deliver the reservation.
+  const Cycles entitled = thread->period_entitlement();
+  if (thread->state() == ThreadState::kRunnable && thread->last_wake_time() <= start &&
+      thread->cycles_this_period() < entitled) {
+    thread->CountDeadlineMiss();
+    if (miss_fn_) {
+      miss_fn_(thread, entitled - thread->cycles_this_period(), now);
+    }
+  }
+  while (now >= start + period) {
+    start += period;
+  }
+  const Cycles budget = PeriodBudget(thread);
+  thread->set_period_start(start);
+  thread->set_budget_remaining(budget);
+  thread->set_period_entitlement(budget);
+  thread->ResetPeriodCycles();
+}
+
+void RbsScheduler::OnTick(TimePoint now) {
+  for (SimThread* t : threads_) {
+    if (HasReservation(t)) {
+      Replenish(t, now);
+    }
+  }
+}
+
+int64_t RbsScheduler::Goodness(const SimThread* thread) const {
+  if (!thread->IsRunnable() && thread->state() != ThreadState::kRunning) {
+    return 0;
+  }
+  if (HasReservation(thread)) {
+    if (thread->budget_remaining() <= 0) {
+      return 0;  // Used its allocation; sleeps until next period.
+    }
+    // Rate-monotonic: shorter period => higher goodness. The bonus is the period rank
+    // expressed as periods-per-hour so that any realistic period (>= 1 ms) maps to a
+    // positive, strictly rate-ordered value.
+    const int64_t periods_per_hour = Duration::Seconds(3600) / thread->period();
+    return kRmBase + periods_per_hour;
+  }
+  // Non-reserved: modest goodness so they run only when no reserved thread can.
+  return 1;
+}
+
+SimThread* RbsScheduler::PickNext(TimePoint /*now*/) {
+  // Reserved threads first. Rate-monotonic: highest goodness (shortest period). EDF:
+  // earliest deadline, where a thread's deadline is the end of its current period.
+  // Ties broken by id for determinism.
+  SimThread* best = nullptr;
+  if (config_.order == DispatchOrder::kEarliestDeadlineFirst) {
+    TimePoint best_deadline = TimePoint::Max();
+    for (SimThread* t : threads_) {
+      if (!t->IsRunnable() || !HasReservation(t) || t->budget_remaining() <= 0) {
+        continue;
+      }
+      const TimePoint deadline = t->period_start() + t->period();
+      if (deadline < best_deadline) {
+        best = t;
+        best_deadline = deadline;
+      }
+    }
+    if (best != nullptr) {
+      return best;
+    }
+  } else {
+    int64_t best_goodness = 0;
+    for (SimThread* t : threads_) {
+      if (!t->IsRunnable()) {
+        continue;
+      }
+      const int64_t g = Goodness(t);
+      if (g > best_goodness) {
+        best = t;
+        best_goodness = g;
+      }
+    }
+    if (best != nullptr && best_goodness >= kRmBase) {
+      return best;
+    }
+    best = nullptr;
+  }
+  // No reserved thread can run: round-robin over the remaining runnables (non-reserved
+  // threads, plus exhausted reserved threads when work-conserving).
+  const size_t n = threads_.size();
+  for (size_t i = 0; i < n; ++i) {
+    SimThread* t = threads_[(rr_cursor_ + i) % n];
+    if (!t->IsRunnable()) {
+      continue;
+    }
+    const bool exhausted_reserved = HasReservation(t) && t->budget_remaining() <= 0;
+    if (exhausted_reserved && !config_.work_conserving) {
+      continue;
+    }
+    if (!exhausted_reserved && HasReservation(t)) {
+      continue;  // Has budget; already considered above.
+    }
+    rr_cursor_ = (rr_cursor_ + i + 1) % n;
+    return t;
+  }
+  return best;  // nullptr, or a reserved thread found above (unreachable here).
+}
+
+Cycles RbsScheduler::MaxGrant(SimThread* thread, Cycles tick_remaining) {
+  if (HasReservation(thread) && thread->budget_remaining() > 0) {
+    return std::min(tick_remaining, thread->budget_remaining());
+  }
+  return tick_remaining;
+}
+
+void RbsScheduler::OnRan(SimThread* thread, Cycles used, TimePoint /*now*/) {
+  if (HasReservation(thread)) {
+    thread->set_budget_remaining(std::max<Cycles>(0, thread->budget_remaining() - used));
+  }
+}
+
+std::optional<TimePoint> RbsScheduler::ThrottleUntil(SimThread* thread, TimePoint /*now*/) {
+  if (!HasReservation(thread) || config_.work_conserving) {
+    return std::nullopt;
+  }
+  if (thread->budget_remaining() > 0) {
+    return std::nullopt;
+  }
+  // "When a thread has used its allocation for its period, it is put to sleep until its
+  // next period begins."
+  return thread->period_start() + thread->period();
+}
+
+void RbsScheduler::SetReservation(SimThread* thread, Proportion proportion, Duration period,
+                                  TimePoint now) {
+  RR_EXPECTS(thread != nullptr);
+  const bool fresh =
+      thread->policy() != SchedPolicy::kReservation || thread->period() != period;
+  thread->set_policy(SchedPolicy::kReservation);
+  thread->SetReservation(proportion, period);
+  if (fresh) {
+    // New reservation or new period: start a fresh period at `now`.
+    thread->set_period_start(now);
+    thread->set_budget_remaining(PeriodBudget(thread));
+    thread->set_period_entitlement(PeriodBudget(thread));
+    thread->ResetPeriodCycles();
+  } else {
+    // Proportion-only change (the controller's common actuation): keep the current
+    // period phase and recompute the remaining budget as if the new proportion had
+    // applied all period — full new budget minus what was already consumed. Stateless
+    // in the history of intra-period updates, so an oscillating controller cannot
+    // accumulate a budget bias.
+    thread->set_budget_remaining(
+        std::max<Cycles>(0, PeriodBudget(thread) - thread->cycles_this_period()));
+  }
+}
+
+Proportion RbsScheduler::TotalReserved() const {
+  Proportion total = Proportion::Zero();
+  for (const SimThread* t : threads_) {
+    if (t->policy() == SchedPolicy::kReservation) {
+      total += t->proportion();
+    }
+  }
+  return total;
+}
+
+}  // namespace realrate

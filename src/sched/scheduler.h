@@ -1,0 +1,51 @@
+// Scheduler: the dispatch-time policy interface. The Machine (machine.h) owns thread
+// state transitions and the timeline; a Scheduler only orders runnable threads and
+// accounts budgets. This split mirrors the paper's "dispatcher" (low-level, runs at
+// dispatch time) versus policy distinction.
+#ifndef REALRATE_SCHED_SCHEDULER_H_
+#define REALRATE_SCHED_SCHEDULER_H_
+
+#include <optional>
+
+#include "task/thread.h"
+#include "util/time.h"
+#include "util/types.h"
+
+namespace realrate {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual const char* name() const = 0;
+
+  virtual void AddThread(SimThread* thread) = 0;
+  virtual void RemoveThread(SimThread* thread) = 0;
+
+  // Called once at each timer tick before dispatching (replenish budgets, recalculate
+  // counters...).
+  virtual void OnTick(TimePoint now) = 0;
+
+  // The dispatch decision: the runnable thread with the highest goodness, or nullptr if
+  // nothing is runnable. Must be deterministic.
+  virtual SimThread* PickNext(TimePoint now) = 0;
+
+  // Upper bound on the cycles `thread` may receive right now (budget clipping).
+  // `tick_remaining` is the cycle budget left in the current dispatch interval.
+  virtual Cycles MaxGrant(SimThread* thread, Cycles tick_remaining) = 0;
+
+  // Accounting after `thread` consumed `used` cycles.
+  virtual void OnRan(SimThread* thread, Cycles used, TimePoint now) = 0;
+
+  // After OnRan: if the policy wants the thread off the CPU until a future time (RBS
+  // budget exhaustion -> sleep until next period), return that time.
+  virtual std::optional<TimePoint> ThrottleUntil(SimThread* thread, TimePoint now) = 0;
+
+  // State-change notifications.
+  virtual void OnWake(SimThread* /*thread*/, TimePoint /*now*/) {}
+  virtual void OnBlock(SimThread* /*thread*/, TimePoint /*now*/) {}
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_SCHED_SCHEDULER_H_

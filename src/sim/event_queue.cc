@@ -1,0 +1,64 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+EventId EventQueue::Push(TimePoint when, Callback fn) {
+  RR_EXPECTS(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) {
+    return false;
+  }
+  // We cannot know cheaply whether the id is still pending; the cancelled set is
+  // consulted (and cleaned) at pop time. Inserting an already-fired id is harmless
+  // because fired ids are never reissued.
+  return cancelled_.insert(id).second;
+}
+
+void EventQueue::SkimCancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() {
+  SkimCancelled();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::PeekTime() {
+  SkimCancelled();
+  RR_EXPECTS(!heap_.empty());
+  return heap_.top().when;
+}
+
+EventQueue::Popped EventQueue::Pop() {
+  SkimCancelled();
+  RR_EXPECTS(!heap_.empty());
+  // priority_queue::top() returns const&; the callback must be moved out, so we cast.
+  // Safe because we pop immediately afterwards.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.id, top.when, std::move(top.fn)};
+  heap_.pop();
+  return out;
+}
+
+size_t EventQueue::PendingCount() {
+  SkimCancelled();
+  return heap_.size();
+}
+
+}  // namespace realrate

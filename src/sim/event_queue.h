@@ -1,0 +1,68 @@
+// Priority queue of timestamped events with stable FIFO ordering for equal timestamps
+// and O(log n) cancellation (lazy deletion). The deterministic heart of the simulator.
+#ifndef REALRATE_SIM_EVENT_QUEUE_H_
+#define REALRATE_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.h"
+
+namespace realrate {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Enqueues `fn` to run at `when`. Events with equal `when` run in insertion order.
+  EventId Push(TimePoint when, Callback fn);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op and
+  // returns false.
+  bool Cancel(EventId id);
+
+  bool Empty();
+  // Timestamp of the earliest pending event. Requires !Empty().
+  TimePoint PeekTime();
+  // Removes and returns the earliest pending event. Requires !Empty().
+  struct Popped {
+    EventId id;
+    TimePoint when;
+    Callback fn;
+  };
+  Popped Pop();
+
+  size_t PendingCount();
+
+ private:
+  struct Entry {
+    TimePoint when;
+    EventId id;  // Doubles as the FIFO tiebreaker: ids are issued monotonically.
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  // Drops cancelled entries from the heap top.
+  void SkimCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,50 @@
+// Single-threaded discrete-event simulator: a virtual clock plus an event queue. All
+// higher layers (dispatcher, controller, workloads) advance time only through this.
+#ifndef REALRATE_SIM_SIMULATOR_H_
+#define REALRATE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/cpu.h"
+#include "sim/event_queue.h"
+#include "sim/trace.h"
+#include "util/time.h"
+
+namespace realrate {
+
+class Simulator {
+ public:
+  explicit Simulator(const CpuConfig& cpu_config = CpuConfig{});
+
+  TimePoint Now() const { return now_; }
+  Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
+  TraceRecorder& trace() { return trace_; }
+
+  // Schedules `fn` at absolute time `t` (must not be in the past).
+  EventId ScheduleAt(TimePoint t, EventQueue::Callback fn);
+  // Schedules `fn` after `d` (must be non-negative).
+  EventId ScheduleAfter(Duration d, EventQueue::Callback fn);
+  bool Cancel(EventId id) { return events_.Cancel(id); }
+
+  // Runs a single event; returns false if none pending.
+  bool Step();
+  // Runs all events with timestamps <= t, then sets the clock to t.
+  void RunUntil(TimePoint t);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() { return events_.PendingCount(); }
+
+ private:
+  TimePoint now_ = TimePoint::Origin();
+  EventQueue events_;
+  Cpu cpu_;
+  TraceRecorder trace_;
+  uint64_t events_processed_ = 0;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_SIM_SIMULATOR_H_

@@ -1,0 +1,78 @@
+#include "sim/trace.h"
+
+#include <cstdio>
+
+namespace realrate {
+
+const char* ToString(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kDispatch:
+      return "dispatch";
+    case TraceKind::kBlock:
+      return "block";
+    case TraceKind::kWake:
+      return "wake";
+    case TraceKind::kBudgetExhausted:
+      return "budget-exhausted";
+    case TraceKind::kDeadlineMiss:
+      return "deadline-miss";
+    case TraceKind::kAllocationSet:
+      return "allocation-set";
+    case TraceKind::kQualityException:
+      return "quality-exception";
+    case TraceKind::kAdmitted:
+      return "admitted";
+    case TraceKind::kRejected:
+      return "rejected";
+    case TraceKind::kExit:
+      return "exit";
+  }
+  return "?";
+}
+
+int64_t TraceRecorder::Count(TraceKind kind, ThreadId thread) const {
+  int64_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind && (thread == kInvalidThreadId || e.thread == thread)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t TraceRecorder::Hash() const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const TraceEvent& e : events_) {
+    mix(static_cast<uint64_t>(e.t.nanos()));
+    mix(static_cast<uint64_t>(e.kind));
+    mix(static_cast<uint64_t>(e.thread));
+    mix(static_cast<uint64_t>(e.arg0));
+    mix(static_cast<uint64_t>(e.arg1));
+  }
+  return h;
+}
+
+std::string TraceRecorder::ToString(size_t max_events) const {
+  std::string out;
+  char line[160];
+  size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (n++ >= max_events) {
+      out += "...\n";
+      break;
+    }
+    std::snprintf(line, sizeof(line), "%10.6fs thread=%d %s arg0=%lld arg1=%lld\n",
+                  e.t.ToSeconds(), e.thread, realrate::ToString(e.kind),
+                  static_cast<long long>(e.arg0), static_cast<long long>(e.arg1));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace realrate

@@ -1,0 +1,67 @@
+// Structured trace of scheduler-visible events. Tests assert on it; the determinism
+// property tests hash it; examples can dump it for inspection.
+#ifndef REALRATE_SIM_TRACE_H_
+#define REALRATE_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+#include "util/types.h"
+
+namespace realrate {
+
+enum class TraceKind : uint8_t {
+  kDispatch,       // arg0 = cycles granted
+  kBlock,          // arg0 = queue id
+  kWake,           // arg0 = queue id or -1 (timer wake)
+  kBudgetExhausted,  // arg0 = cycles used this period
+  kDeadlineMiss,   // arg0 = cycles short
+  kAllocationSet,  // arg0 = proportion ppt, arg1 = period ns
+  kQualityException,  // arg0 = queue id
+  kAdmitted,       // arg0 = proportion ppt
+  kRejected,       // arg0 = requested ppt
+  kExit,
+};
+
+struct TraceEvent {
+  TimePoint t;
+  TraceKind kind;
+  ThreadId thread;
+  int64_t arg0;
+  int64_t arg1;
+};
+
+class TraceRecorder {
+ public:
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void Record(TimePoint t, TraceKind kind, ThreadId thread, int64_t arg0 = 0, int64_t arg1 = 0) {
+    if (enabled_) {
+      events_.push_back({t, kind, thread, arg0, arg1});
+    }
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+  // Count events of `kind` for `thread` (any thread if thread == kInvalidThreadId).
+  int64_t Count(TraceKind kind, ThreadId thread = kInvalidThreadId) const;
+
+  // FNV-1a over the raw event stream; equal hashes <=> identical schedules.
+  uint64_t Hash() const;
+
+  std::string ToString(size_t max_events = 100) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+const char* ToString(TraceKind kind);
+
+}  // namespace realrate
+
+#endif  // REALRATE_SIM_TRACE_H_

@@ -1,0 +1,59 @@
+#include "swift/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace realrate::swift {
+
+StepResponse AnalyzeStepResponse(Component& controller, const PlantConfig& plant,
+                                 double setpoint, double dt, double horizon_s) {
+  RR_EXPECTS(dt > 0);
+  RR_EXPECTS(horizon_s > dt);
+  RR_EXPECTS(setpoint != 0.0);
+  RR_EXPECTS(plant.leak * dt < 0.9);  // Explicit Euler stability.
+
+  const auto steps = static_cast<int>(horizon_s / dt);
+  std::vector<double> outputs;
+  outputs.reserve(steps);
+
+  double output = 0.0;
+  StepResponse response;
+  double peak = 0.0;
+
+  for (int i = 0; i < steps; ++i) {
+    const double error = setpoint - output;
+    const double control =
+        std::clamp(controller.Step(error, dt), plant.control_min, plant.control_max);
+    output += (plant.gain * control - plant.leak * output) * dt;
+    outputs.push_back(output);
+
+    const double t = (i + 1) * dt;
+    if (response.rise_time_s < 0 && output >= 0.9 * setpoint) {
+      response.rise_time_s = t;
+    }
+    peak = std::max(peak, output);
+    if (std::abs(output) > std::abs(setpoint) * 100.0) {
+      return response;  // Diverged; stable stays false.
+    }
+  }
+
+  response.overshoot = std::max(0.0, (peak - setpoint) / std::abs(setpoint));
+  response.steady_state_error = std::abs(setpoint - outputs.back()) / std::abs(setpoint);
+
+  // Settling: last time the output was outside the +/-5% band.
+  response.settling_time_s = 0.0;
+  for (int i = steps - 1; i >= 0; --i) {
+    if (std::abs(outputs[i] - setpoint) > 0.05 * std::abs(setpoint)) {
+      response.settling_time_s = (i + 1) * dt;
+      break;
+    }
+  }
+  // Stable iff it ended inside the band.
+  response.stable = response.steady_state_error <= 0.10;
+  return response;
+}
+
+}  // namespace realrate::swift

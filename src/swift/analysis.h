@@ -1,0 +1,46 @@
+// Step-response analysis for feedback circuits: closes a loop around a first-order
+// plant and reports the classical control metrics (rise time, overshoot, settling
+// time, steady-state error). Used by the PID tests and the gain ablation to
+// characterize controller tunings quantitatively.
+#ifndef REALRATE_SWIFT_ANALYSIS_H_
+#define REALRATE_SWIFT_ANALYSIS_H_
+
+#include "swift/component.h"
+
+namespace realrate::swift {
+
+struct StepResponse {
+  // Time for the output to first reach 90% of the final setpoint change.
+  double rise_time_s = -1.0;
+  // Peak overshoot beyond the setpoint, as a fraction of the step size (0 = none).
+  double overshoot = 0.0;
+  // Time after which the output stays within +/-5% of the step size.
+  double settling_time_s = -1.0;
+  // |setpoint - output| at the end of the horizon, as a fraction of the step size.
+  double steady_state_error = 0.0;
+  // True if the output stayed within sane bounds (no divergence).
+  bool stable = false;
+};
+
+struct PlantConfig {
+  // First-order plant: d(output)/dt = gain * control - leak * output.
+  // The default leak models the scheduling loop's operating point: holding the output
+  // at the setpoint requires a nonzero steady control (like matching a producer's
+  // rate), which only integral action can supply. leak * dt must stay well below 1
+  // (explicit Euler).
+  double gain = 50.0;
+  double leak = 5.0;
+  // Actuator saturation (allocation cannot exceed the machine).
+  double control_min = 0.0;
+  double control_max = 1.0;
+};
+
+// Drives `controller` (any Component mapping error -> control) against the plant with
+// a unit step in the setpoint at t = 0. dt is the sampling interval; horizon the total
+// simulated time.
+StepResponse AnalyzeStepResponse(Component& controller, const PlantConfig& plant,
+                                 double setpoint, double dt, double horizon_s);
+
+}  // namespace realrate::swift
+
+#endif  // REALRATE_SWIFT_ANALYSIS_H_

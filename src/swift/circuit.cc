@@ -1,0 +1,27 @@
+#include "swift/circuit.h"
+
+#include "util/assert.h"
+
+namespace realrate::swift {
+
+Circuit& Circuit::Add(std::unique_ptr<Component> stage) {
+  RR_EXPECTS(stage != nullptr);
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+double Circuit::Step(double input, double dt) {
+  double value = input;
+  for (auto& stage : stages_) {
+    value = stage->Step(value, dt);
+  }
+  return value;
+}
+
+void Circuit::Reset() {
+  for (auto& stage : stages_) {
+    stage->Reset();
+  }
+}
+
+}  // namespace realrate::swift

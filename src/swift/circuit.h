@@ -1,0 +1,36 @@
+// A circuit is an owned chain of components applied in sequence — the SWiFT way of
+// assembling a controller from reusable filters.
+#ifndef REALRATE_SWIFT_CIRCUIT_H_
+#define REALRATE_SWIFT_CIRCUIT_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "swift/component.h"
+
+namespace realrate::swift {
+
+class Circuit : public Component {
+ public:
+  Circuit() = default;
+
+  // Appends a stage; returns *this for fluent building.
+  Circuit& Add(std::unique_ptr<Component> stage);
+
+  template <typename T, typename... Args>
+  Circuit& Emplace(Args&&... args) {
+    return Add(std::make_unique<T>(std::forward<Args>(args)...));
+  }
+
+  double Step(double input, double dt) override;
+  void Reset() override;
+  size_t size() const { return stages_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Component>> stages_;
+};
+
+}  // namespace realrate::swift
+
+#endif  // REALRATE_SWIFT_CIRCUIT_H_

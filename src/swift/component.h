@@ -1,0 +1,26 @@
+// Mini reimplementation of the SWiFT software-feedback toolkit (Goel et al., OGI
+// CSE-98-009) that the paper's controller is built with: "the controller is a circuit
+// that calculates a function based on its inputs ... and uses the function's output for
+// actuation." Components are discrete-time scalar filters composed into circuits.
+#ifndef REALRATE_SWIFT_COMPONENT_H_
+#define REALRATE_SWIFT_COMPONENT_H_
+
+namespace realrate::swift {
+
+// A single-input single-output discrete-time component. `dt` is the controller
+// sampling interval in seconds and is passed per step so circuits keep working when
+// the controller's execution period is reconfigured at run time.
+class Component {
+ public:
+  virtual ~Component() = default;
+
+  // Processes one sample.
+  virtual double Step(double input, double dt) = 0;
+
+  // Clears internal state (integrators, filter memories).
+  virtual void Reset() {}
+};
+
+}  // namespace realrate::swift
+
+#endif  // REALRATE_SWIFT_COMPONENT_H_

@@ -1,0 +1,91 @@
+// Standard SWiFT circuit elements: gain, integrator (with anti-windup), differentiator,
+// first-order low-pass filter, clamp, and deadband.
+#ifndef REALRATE_SWIFT_COMPONENTS_H_
+#define REALRATE_SWIFT_COMPONENTS_H_
+
+#include "swift/component.h"
+#include "util/assert.h"
+
+namespace realrate::swift {
+
+class Gain : public Component {
+ public:
+  explicit Gain(double k) : k_(k) {}
+  double Step(double input, double /*dt*/) override { return k_ * input; }
+  void set_gain(double k) { k_ = k; }
+  double gain() const { return k_; }
+
+ private:
+  double k_;
+};
+
+// Trapezoidal integrator with symmetric anti-windup clamping. Anti-windup matters in
+// this system: during overload the actuator (allocation) saturates, and an unclamped
+// integral would keep growing and overshoot massively when load disappears.
+class Integrator : public Component {
+ public:
+  explicit Integrator(double windup_limit);
+  double Step(double input, double dt) override;
+  void Reset() override;
+  double value() const { return value_; }
+  // Overrides the accumulated state (clamped to the windup limit). Used for bumpless
+  // transfer when an outer policy forces the actuator to a new operating point.
+  void SetValue(double value);
+
+ private:
+  const double limit_;
+  double value_ = 0.0;
+  double prev_input_ = 0.0;
+  bool has_prev_ = false;
+};
+
+// First difference scaled by 1/dt.
+class Differentiator : public Component {
+ public:
+  double Step(double input, double dt) override;
+  void Reset() override;
+
+ private:
+  double prev_ = 0.0;
+  bool has_prev_ = false;
+};
+
+// First-order IIR low-pass with time constant tau (seconds). The paper: "Using a
+// suitable low-pass filter, we can schedule jobs with reasonable responsiveness and low
+// overhead while keeping the sampling rate reasonably high."
+class LowPassFilter : public Component {
+ public:
+  explicit LowPassFilter(double tau_seconds);
+  double Step(double input, double dt) override;
+  void Reset() override;
+
+ private:
+  const double tau_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+class Clamp : public Component {
+ public:
+  Clamp(double lo, double hi);
+  double Step(double input, double /*dt*/) override;
+
+ private:
+  const double lo_;
+  const double hi_;
+};
+
+// Passes zero for |input| < width; used to ignore progress-pressure noise around the
+// half-full set point.
+class Deadband : public Component {
+ public:
+  explicit Deadband(double width);
+  double Step(double input, double /*dt*/) override;
+
+ private:
+  const double width_;
+};
+
+}  // namespace realrate::swift
+
+#endif  // REALRATE_SWIFT_COMPONENTS_H_

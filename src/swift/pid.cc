@@ -1,0 +1,31 @@
+#include "swift/pid.h"
+
+namespace realrate::swift {
+
+PidController::PidController(const PidGains& gains)
+    : gains_(gains),
+      integrator_(gains.integral_limit),
+      derivative_filter_(gains.derivative_filter_tau) {}
+
+double PidController::Step(double error, double dt) {
+  RR_EXPECTS(dt > 0);
+  const double p = gains_.kp * error;
+  const double i = gains_.ki * integrator_.Step(error, dt);
+  const double raw_d = differentiator_.Step(error, dt);
+  const double d = gains_.kd * derivative_filter_.Step(raw_d, dt);
+  return p + i + d;
+}
+
+void PidController::Reset() {
+  integrator_.Reset();
+  differentiator_.Reset();
+  derivative_filter_.Reset();
+}
+
+void PidController::SetOutputState(double output) {
+  if (gains_.ki != 0.0) {
+    integrator_.SetValue(output / gains_.ki);
+  }
+}
+
+}  // namespace realrate::swift

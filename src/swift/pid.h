@@ -1,0 +1,45 @@
+// PID controller: "A PID controller combines the magnitude of the summed pressures (P)
+// with the integral (I) and with the first-derivative (D) of the function described by
+// the summed progress pressures over time" (paper §3.3). Derivative is low-pass
+// filtered, the standard remedy for sampled-noise amplification.
+#ifndef REALRATE_SWIFT_PID_H_
+#define REALRATE_SWIFT_PID_H_
+
+#include "swift/components.h"
+
+namespace realrate::swift {
+
+struct PidGains {
+  double kp = 1.0;
+  double ki = 0.0;
+  double kd = 0.0;
+  // Anti-windup bound on the integral term's state.
+  double integral_limit = 10.0;
+  // Time constant of the derivative's smoothing filter (seconds). 0 = raw derivative.
+  double derivative_filter_tau = 0.0;
+};
+
+class PidController {
+ public:
+  explicit PidController(const PidGains& gains);
+
+  // One control step over the error signal. dt in seconds, > 0.
+  double Step(double error, double dt);
+  void Reset();
+
+  const PidGains& gains() const { return gains_; }
+  double integral_state() const { return integrator_.value(); }
+  // Bumpless transfer: sets the integral state so that, at zero error, the controller
+  // output equals `output` (requires ki != 0; no-op otherwise).
+  void SetOutputState(double output);
+
+ private:
+  PidGains gains_;
+  Integrator integrator_;
+  Differentiator differentiator_;
+  LowPassFilter derivative_filter_;
+};
+
+}  // namespace realrate::swift
+
+#endif  // REALRATE_SWIFT_PID_H_

@@ -1,0 +1,58 @@
+#include "task/registry.h"
+
+#include <utility>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+SimThread* ThreadRegistry::Create(std::string name, std::unique_ptr<WorkModel> work) {
+  const auto id = static_cast<ThreadId>(threads_.size());
+  threads_.push_back(std::make_unique<SimThread>(id, std::move(name), std::move(work)));
+  SimThread* thread = threads_.back().get();
+  thread->work().Bind(thread);
+  return thread;
+}
+
+SimThread* ThreadRegistry::Find(ThreadId id) {
+  if (id < 0 || static_cast<size_t>(id) >= threads_.size()) {
+    return nullptr;
+  }
+  return threads_[id].get();
+}
+
+const SimThread* ThreadRegistry::Find(ThreadId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= threads_.size()) {
+    return nullptr;
+  }
+  return threads_[id].get();
+}
+
+SimThread* ThreadRegistry::FindByName(const std::string& name) {
+  for (auto& t : threads_) {
+    if (t->name() == name) {
+      return t.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<SimThread*> ThreadRegistry::All() {
+  std::vector<SimThread*> out;
+  out.reserve(threads_.size());
+  for (auto& t : threads_) {
+    out.push_back(t.get());
+  }
+  return out;
+}
+
+std::vector<const SimThread*> ThreadRegistry::All() const {
+  std::vector<const SimThread*> out;
+  out.reserve(threads_.size());
+  for (const auto& t : threads_) {
+    out.push_back(t.get());
+  }
+  return out;
+}
+
+}  // namespace realrate

@@ -1,0 +1,33 @@
+// Owns every SimThread in a simulation and allocates thread ids.
+#ifndef REALRATE_TASK_REGISTRY_H_
+#define REALRATE_TASK_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "task/thread.h"
+
+namespace realrate {
+
+class ThreadRegistry {
+ public:
+  // Creates a thread owned by the registry; returns a stable non-owning pointer.
+  SimThread* Create(std::string name, std::unique_ptr<WorkModel> work);
+
+  SimThread* Find(ThreadId id);
+  const SimThread* Find(ThreadId id) const;
+  SimThread* FindByName(const std::string& name);
+
+  size_t size() const { return threads_.size(); }
+  // Iteration in creation order (deterministic).
+  std::vector<SimThread*> All();
+  std::vector<const SimThread*> All() const;
+
+ private:
+  std::vector<std::unique_ptr<SimThread>> threads_;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_TASK_REGISTRY_H_

@@ -1,0 +1,44 @@
+#include "task/thread.h"
+
+#include <utility>
+
+namespace realrate {
+
+const char* ToString(ThreadState state) {
+  switch (state) {
+    case ThreadState::kRunnable:
+      return "runnable";
+    case ThreadState::kRunning:
+      return "running";
+    case ThreadState::kBlocked:
+      return "blocked";
+    case ThreadState::kSleeping:
+      return "sleeping";
+    case ThreadState::kExited:
+      return "exited";
+  }
+  return "?";
+}
+
+const char* ToString(ThreadClass cls) {
+  switch (cls) {
+    case ThreadClass::kRealTime:
+      return "real-time";
+    case ThreadClass::kAperiodicRealTime:
+      return "aperiodic-real-time";
+    case ThreadClass::kRealRate:
+      return "real-rate";
+    case ThreadClass::kMiscellaneous:
+      return "miscellaneous";
+    case ThreadClass::kInteractive:
+      return "interactive";
+  }
+  return "?";
+}
+
+SimThread::SimThread(ThreadId id, std::string name, std::unique_ptr<WorkModel> work)
+    : id_(id), name_(std::move(name)), work_(std::move(work)) {
+  RR_EXPECTS(work_ != nullptr);
+}
+
+}  // namespace realrate

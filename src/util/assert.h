@@ -1,0 +1,44 @@
+// Lightweight contract-checking macros in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures(). Violations abort with a message; they are enabled in all build
+// types because the simulator's correctness rests on these invariants.
+#ifndef REALRATE_UTIL_ASSERT_H_
+#define REALRATE_UTIL_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace realrate::detail {
+
+[[noreturn]] inline void ContractFailure(const char* kind, const char* expr, const char* file,
+                                         int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace realrate::detail
+
+// Precondition check.
+#define RR_EXPECTS(cond)                                                         \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::realrate::detail::ContractFailure("Precondition", #cond, __FILE__, __LINE__); \
+    }                                                                            \
+  } while (0)
+
+// Postcondition check.
+#define RR_ENSURES(cond)                                                          \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      ::realrate::detail::ContractFailure("Postcondition", #cond, __FILE__, __LINE__); \
+    }                                                                             \
+  } while (0)
+
+// General invariant check.
+#define RR_CHECK(cond)                                                         \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::realrate::detail::ContractFailure("Invariant", #cond, __FILE__, __LINE__); \
+    }                                                                          \
+  } while (0)
+
+#endif  // REALRATE_UTIL_ASSERT_H_

@@ -1,0 +1,31 @@
+// Minimal CSV emission for experiment output. Benches print figure data both as aligned
+// text (for the terminal) and optionally as CSV files for plotting.
+#ifndef REALRATE_UTIL_CSV_H_
+#define REALRATE_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/time_series.h"
+
+namespace realrate {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void WriteHeader(const std::vector<std::string>& columns);
+  void WriteRow(const std::vector<double>& values);
+  void WriteRow(const std::vector<std::string>& values);
+
+ private:
+  std::ostream& out_;
+};
+
+// Writes several series on a shared time axis (union of timestamps, step-interpolated).
+void WriteAlignedSeries(std::ostream& out, const std::vector<const TimeSeries*>& series);
+
+}  // namespace realrate
+
+#endif  // REALRATE_UTIL_CSV_H_

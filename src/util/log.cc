@@ -1,0 +1,39 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace realrate {
+namespace {
+
+LogLevel g_level = LogLevel::kNone;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void LogAt(LogLevel level, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] ", LevelTag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace realrate

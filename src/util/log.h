@@ -1,0 +1,36 @@
+// Tiny leveled logger. Off by default so tests and benches stay quiet; scenarios flip it
+// on for debugging. Not thread-safe — the simulator is single-threaded by design.
+#ifndef REALRATE_UTIL_LOG_H_
+#define REALRATE_UTIL_LOG_H_
+
+#include <cstdarg>
+
+namespace realrate {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style. Evaluated lazily via the macro below.
+void LogAt(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace realrate
+
+#define RR_LOG(level, ...)                                \
+  do {                                                    \
+    if (::realrate::GetLogLevel() >= (level)) {           \
+      ::realrate::LogAt((level), __VA_ARGS__);            \
+    }                                                     \
+  } while (0)
+
+#define RR_LOG_ERROR(...) RR_LOG(::realrate::LogLevel::kError, __VA_ARGS__)
+#define RR_LOG_INFO(...) RR_LOG(::realrate::LogLevel::kInfo, __VA_ARGS__)
+#define RR_LOG_DEBUG(...) RR_LOG(::realrate::LogLevel::kDebug, __VA_ARGS__)
+
+#endif  // REALRATE_UTIL_LOG_H_

@@ -1,0 +1,66 @@
+// Fixed-capacity ring buffer. Used for windowed averages in the period-estimation
+// heuristic and for the controller's derivative smoothing.
+#ifndef REALRATE_UTIL_RING_BUFFER_H_
+#define REALRATE_UTIL_RING_BUFFER_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+template <typename T>
+class RingBuffer {
+  // std::vector<bool> is a packed specialization whose operator[] returns a proxy by
+  // value; the const T& accessors below would dangle. Use uint8_t or char instead.
+  static_assert(!std::is_same_v<T, bool>, "RingBuffer<bool> is unsupported");
+
+ public:
+  explicit RingBuffer(size_t capacity) : data_(capacity) { RR_EXPECTS(capacity > 0); }
+
+  // Appends, evicting the oldest element once full.
+  void Push(const T& value) {
+    data_[head_] = value;
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) {
+      ++size_;
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return data_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == data_.size(); }
+
+  // Index 0 is the oldest retained element.
+  const T& operator[](size_t i) const {
+    RR_EXPECTS(i < size_);
+    return data_[(head_ + data_.size() - size_ + i) % data_.size()];
+  }
+
+  const T& Back() const {
+    RR_EXPECTS(size_ > 0);
+    return (*this)[size_ - 1];
+  }
+
+  const T& Front() const {
+    RR_EXPECTS(size_ > 0);
+    return (*this)[0];
+  }
+
+  void Clear() {
+    size_ = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_UTIL_RING_BUFFER_H_

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation (xoshiro256**). The simulator must be
+// bit-reproducible across platforms, so no std::random_device / distribution objects
+// (libstdc++ distributions are not specified to be identical across versions).
+#ifndef REALRATE_UTIL_RNG_H_
+#define REALRATE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace realrate {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextU64();
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform in [lo, hi).
+  double NextDouble(double lo, double hi);
+  // Exponential with the given mean (> 0). Used for Poisson arrival processes.
+  double NextExponential(double mean);
+  // Standard normal via Box-Muller, then scaled.
+  double NextNormal(double mean, double stddev);
+  // Bernoulli with probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_UTIL_RNG_H_

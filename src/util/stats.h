@@ -1,0 +1,68 @@
+// Streaming and batch statistics used by the metrics pipeline and the benches.
+#ifndef REALRATE_UTIL_STATS_H_
+#define REALRATE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace realrate {
+
+// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance (n denominator); 0 when fewer than 2 samples.
+  double variance() const;
+  // Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Batch percentile computation. Keeps all samples; fine at simulation scale.
+class SampleSet {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Linear-interpolated percentile, p in [0, 100]. Requires at least one sample.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  double Mean() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+// Ordinary least squares over (x, y) pairs. Reproduces the paper's Figure 5 fit
+// report: "linear, y = .00066x + .00057, with a coefficient of determination of .999".
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace realrate
+
+#endif  // REALRATE_UTIL_STATS_H_

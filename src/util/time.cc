@@ -1,0 +1,25 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace realrate {
+
+std::string ToString(Duration d) {
+  char buf[64];
+  if (d.nanos() % (1000 * 1000) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(d.millis()));
+  } else if (d.nanos() % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(d.micros()));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d.nanos()));
+  }
+  return buf;
+}
+
+std::string ToString(TimePoint t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", t.ToSeconds());
+  return buf;
+}
+
+}  // namespace realrate

@@ -1,0 +1,98 @@
+// Strong virtual-time types for the simulator. All times are integral nanoseconds so
+// event ordering is exact and runs are bit-reproducible; doubles appear only at the
+// presentation boundary (ToSeconds-style accessors).
+#ifndef REALRATE_UTIL_TIME_H_
+#define REALRATE_UTIL_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace realrate {
+
+// A span of virtual time. Signed so control-law arithmetic (derivatives) is natural.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Nanos(int64_t ns) { return Duration(ns); }
+  static constexpr Duration Micros(int64_t us) { return Duration(us * 1000); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000 * 1000); }
+  static constexpr Duration Seconds(int64_t s) { return Duration(s * 1000 * 1000 * 1000); }
+  // Converts a floating-point second count; used by workload generators, never by the
+  // scheduler core.
+  static constexpr Duration FromSeconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e9));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr int64_t micros() const { return ns_ / 1000; }
+  constexpr int64_t millis() const { return ns_ / (1000 * 1000); }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr bool IsZero() const { return ns_ == 0; }
+  constexpr bool IsPositive() const { return ns_ > 0; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(ns_ + other.ns_); }
+  constexpr Duration operator-(Duration other) const { return Duration(ns_ - other.ns_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(ns_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(ns_ / k); }
+  constexpr int64_t operator/(Duration other) const { return ns_ / other.ns_; }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  constexpr Duration& operator+=(Duration other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  explicit constexpr Duration(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+// An instant on the simulator's virtual clock. Epoch is simulation start.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint FromNanos(int64_t ns) { return TimePoint(ns); }
+  static constexpr TimePoint Origin() { return TimePoint(0); }
+  static constexpr TimePoint Max() { return TimePoint(INT64_MAX); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint(ns_ + d.nanos()); }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint(ns_ - d.nanos()); }
+  constexpr Duration operator-(TimePoint other) const { return Duration::Nanos(ns_ - other.ns_); }
+  constexpr TimePoint& operator+=(Duration d) {
+    ns_ += d.nanos();
+    return *this;
+  }
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  explicit constexpr TimePoint(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+// Rounds an instant down to a multiple of `period` (period boundaries since origin).
+constexpr TimePoint AlignDown(TimePoint t, Duration period) {
+  const int64_t p = period.nanos();
+  return TimePoint::FromNanos((t.nanos() / p) * p);
+}
+
+std::string ToString(Duration d);
+std::string ToString(TimePoint t);
+
+}  // namespace realrate
+
+#endif  // REALRATE_UTIL_TIME_H_

@@ -1,0 +1,101 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+void TimeSeries::Add(TimePoint t, double value) {
+  RR_EXPECTS(points_.empty() || t >= points_.back().t);
+  points_.push_back({t, value});
+}
+
+double TimeSeries::ValueAt(TimePoint t, double fallback) const {
+  // Binary search for the last point at or before t.
+  auto it = std::upper_bound(points_.begin(), points_.end(), t,
+                             [](TimePoint lhs, const Point& rhs) { return lhs < rhs.t; });
+  if (it == points_.begin()) {
+    return fallback;
+  }
+  return std::prev(it)->value;
+}
+
+double TimeSeries::MeanOver(TimePoint begin, TimePoint end) const {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const Point& p : points_) {
+    if (p.t >= begin && p.t < end) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::OscillationOver(TimePoint begin, TimePoint end) const {
+  bool any = false;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const Point& p : points_) {
+    if (p.t >= begin && p.t < end) {
+      if (!any) {
+        lo = hi = p.value;
+        any = true;
+      } else {
+        lo = std::min(lo, p.value);
+        hi = std::max(hi, p.value);
+      }
+    }
+  }
+  return any ? hi - lo : 0.0;
+}
+
+RunningStats TimeSeries::Stats() const {
+  RunningStats stats;
+  for (const Point& p : points_) {
+    stats.Add(p.value);
+  }
+  return stats;
+}
+
+TimePoint TimeSeries::FirstCrossing(TimePoint after, double threshold, bool rising) const {
+  for (const Point& p : points_) {
+    if (p.t < after) {
+      continue;
+    }
+    if (rising ? (p.value >= threshold) : (p.value <= threshold)) {
+      return p.t;
+    }
+  }
+  return TimePoint::Max();
+}
+
+TimeSeries TimeSeries::Resample(Duration bucket) const {
+  RR_EXPECTS(bucket.IsPositive());
+  TimeSeries out(name_);
+  if (points_.empty()) {
+    return out;
+  }
+  TimePoint bucket_start = AlignDown(points_.front().t, bucket);
+  double sum = 0.0;
+  int64_t n = 0;
+  for (const Point& p : points_) {
+    while (p.t >= bucket_start + bucket) {
+      if (n > 0) {
+        out.Add(bucket_start, sum / static_cast<double>(n));
+      }
+      bucket_start += bucket;
+      sum = 0.0;
+      n = 0;
+    }
+    sum += p.value;
+    ++n;
+  }
+  if (n > 0) {
+    out.Add(bucket_start, sum / static_cast<double>(n));
+  }
+  return out;
+}
+
+}  // namespace realrate

@@ -1,0 +1,55 @@
+// Timestamped series recording for experiments: allocation traces, fill levels,
+// progress rates. Provides the reductions the paper's figures need.
+#ifndef REALRATE_UTIL_TIME_SERIES_H_
+#define REALRATE_UTIL_TIME_SERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace realrate {
+
+class TimeSeries {
+ public:
+  struct Point {
+    TimePoint t;
+    double value;
+  };
+
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void Add(TimePoint t, double value);
+  const std::string& name() const { return name_; }
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+
+  // Value at or before `t` (step interpolation); `fallback` before the first point.
+  double ValueAt(TimePoint t, double fallback = 0.0) const;
+
+  // Mean of values with timestamps in [begin, end).
+  double MeanOver(TimePoint begin, TimePoint end) const;
+  // Max - min of values in [begin, end); 0 if no points. The paper's period-estimation
+  // heuristic measures "the amount of change in fill-level over the course of a period".
+  double OscillationOver(TimePoint begin, TimePoint end) const;
+  // Stats over the full series.
+  RunningStats Stats() const;
+
+  // First time >= `after` at which the value crosses `threshold` in the given direction
+  // (true = rising). Returns TimePoint::Max() if never.
+  TimePoint FirstCrossing(TimePoint after, double threshold, bool rising) const;
+
+  // Downsamples to one averaged point per `bucket` for compact printed output.
+  TimeSeries Resample(Duration bucket) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_UTIL_TIME_SERIES_H_

@@ -1,0 +1,74 @@
+// Core scalar types shared across the scheduler, controller, and simulator.
+#ifndef REALRATE_UTIL_TYPES_H_
+#define REALRATE_UTIL_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+// CPU cycles. The simulated CPU's unit of work.
+using Cycles = int64_t;
+
+// Unique thread identifier within one simulation.
+using ThreadId = int32_t;
+inline constexpr ThreadId kInvalidThreadId = -1;
+
+// Unique bounded-buffer identifier within one simulation.
+using QueueId = int32_t;
+inline constexpr QueueId kInvalidQueueId = -1;
+
+// CPU proportion in parts-per-thousand, the unit the paper's scheduler interface uses
+// ("a percentage, specified in parts-per-thousand"). 1000 == the whole CPU.
+class Proportion {
+ public:
+  constexpr Proportion() = default;
+  static constexpr Proportion Ppt(int32_t ppt) { return Proportion(ppt); }
+  static constexpr Proportion Zero() { return Proportion(0); }
+  static constexpr Proportion Full() { return Proportion(kFull); }
+  // Conversion from a fraction in [0, 1]; rounds to nearest ppt.
+  static constexpr Proportion FromFraction(double f) {
+    return Proportion(static_cast<int32_t>(f * kFull + (f >= 0 ? 0.5 : -0.5)));
+  }
+
+  constexpr int32_t ppt() const { return ppt_; }
+  constexpr double ToFraction() const { return static_cast<double>(ppt_) / kFull; }
+  constexpr bool IsZero() const { return ppt_ == 0; }
+
+  constexpr Proportion operator+(Proportion other) const { return Proportion(ppt_ + other.ppt_); }
+  constexpr Proportion operator-(Proportion other) const { return Proportion(ppt_ - other.ppt_); }
+  constexpr Proportion& operator+=(Proportion other) {
+    ppt_ += other.ppt_;
+    return *this;
+  }
+  constexpr Proportion& operator-=(Proportion other) {
+    ppt_ -= other.ppt_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Proportion&) const = default;
+
+  static constexpr int32_t kFull = 1000;
+
+ private:
+  explicit constexpr Proportion(int32_t ppt) : ppt_(ppt) {}
+  int32_t ppt_ = 0;
+};
+
+// The role a thread plays with respect to a registered bounded buffer. Determines the
+// sign flip R_t,i in the paper's progress-pressure equation (Figure 3).
+enum class QueueRole : uint8_t {
+  kProducer,  // R = -1: a full queue means the producer should slow down.
+  kConsumer,  // R = +1: a full queue means the consumer should speed up.
+};
+
+constexpr int RoleSign(QueueRole role) { return role == QueueRole::kConsumer ? +1 : -1; }
+
+constexpr const char* ToString(QueueRole role) {
+  return role == QueueRole::kProducer ? "producer" : "consumer";
+}
+
+}  // namespace realrate
+
+#endif  // REALRATE_UTIL_TYPES_H_

@@ -1,0 +1,50 @@
+#include "workloads/adaptive_source.h"
+
+#include <algorithm>
+
+#include "task/thread.h"
+#include "util/assert.h"
+
+namespace realrate {
+
+AdaptiveSourceWork::AdaptiveSourceWork(BoundedBuffer* out, int64_t item_bytes,
+                                       Duration base_interval, Cycles cycles_per_item)
+    : out_(out),
+      item_bytes_(item_bytes),
+      base_interval_(base_interval),
+      cycles_per_item_(cycles_per_item) {
+  RR_EXPECTS(out != nullptr);
+  RR_EXPECTS(item_bytes > 0);
+  RR_EXPECTS(base_interval.IsPositive());
+  RR_EXPECTS(cycles_per_item > 0);
+}
+
+void AdaptiveSourceWork::Degrade() { level_ = std::min(level_ + 1, 3); }
+
+void AdaptiveSourceWork::Restore() { level_ = 0; }
+
+RunResult AdaptiveSourceWork::Run(TimePoint now, Cycles granted) {
+  Cycles used = 0;
+  while (used < granted) {
+    if (now < next_item_time_) {
+      return RunResult::Sleeping(used, next_item_time_);
+    }
+    const Cycles step = std::min(cycles_per_item_ - into_item_, granted - used);
+    used += step;
+    into_item_ += step;
+    if (into_item_ < cycles_per_item_) {
+      break;
+    }
+    into_item_ = 0;
+    if (out_->TryPush(item_bytes_)) {
+      ++items_;
+      self()->AddProgress(item_bytes_);
+    } else {
+      ++dropped_;
+    }
+    next_item_time_ = std::max(next_item_time_ + current_interval(), now);
+  }
+  return RunResult::Ran(used);
+}
+
+}  // namespace realrate

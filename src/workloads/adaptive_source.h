@@ -1,0 +1,47 @@
+// AdaptiveSourceWork: an isochronous source that can renegotiate its rate — the
+// application side of the paper's quality-exception protocol. "Second, it can raise
+// quality exceptions to notify the jobs of the overload and renegotiate the
+// proportions" (§3.1); "allowing the application to adapt by lowering its resource
+// requirements" (§4.2). A media source would drop to a lower bitrate; Degrade() halves
+// the emission rate, Restore() returns to the original.
+#ifndef REALRATE_WORKLOADS_ADAPTIVE_SOURCE_H_
+#define REALRATE_WORKLOADS_ADAPTIVE_SOURCE_H_
+
+#include "queue/bounded_buffer.h"
+#include "task/work_model.h"
+
+namespace realrate {
+
+class AdaptiveSourceWork : public WorkModel {
+ public:
+  AdaptiveSourceWork(BoundedBuffer* out, int64_t item_bytes, Duration base_interval,
+                     Cycles cycles_per_item);
+
+  RunResult Run(TimePoint now, Cycles granted) override;
+
+  // Halves the emission rate (doubles the interval). Repeated calls keep halving down
+  // to 1/8 of the base rate.
+  void Degrade();
+  // Returns to the base rate.
+  void Restore();
+
+  int degradation_level() const { return level_; }
+  Duration current_interval() const { return base_interval_ * (int64_t{1} << level_); }
+  int64_t items_produced() const { return items_; }
+  int64_t items_dropped() const { return dropped_; }
+
+ private:
+  BoundedBuffer* const out_;
+  const int64_t item_bytes_;
+  const Duration base_interval_;
+  const Cycles cycles_per_item_;
+  int level_ = 0;
+  TimePoint next_item_time_;
+  Cycles into_item_ = 0;
+  int64_t items_ = 0;
+  int64_t dropped_ = 0;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_WORKLOADS_ADAPTIVE_SOURCE_H_

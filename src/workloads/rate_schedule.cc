@@ -1,0 +1,49 @@
+#include "workloads/rate_schedule.h"
+
+#include "util/assert.h"
+
+namespace realrate {
+
+RateSchedule& RateSchedule::AddSegment(TimePoint start, Duration width, double value) {
+  RR_EXPECTS(width.IsPositive());
+  segments_.push_back({start, start + width, value});
+  return *this;
+}
+
+double RateSchedule::ValueAt(TimePoint t) const {
+  double value = base_;
+  for (const Segment& s : segments_) {
+    if (t >= s.start && t < s.end) {
+      value = s.value;
+    }
+  }
+  return value;
+}
+
+RateSchedule RateSchedule::PaperPulses(double base, double doubled, TimePoint start,
+                                       std::vector<Duration> rising_widths, Duration gap,
+                                       std::vector<Duration> falling_widths) {
+  RateSchedule schedule(base);
+  if (rising_widths.empty()) {
+    return schedule;  // No pulse program: a constant-rate schedule.
+  }
+  TimePoint t = start;
+  TimePoint last_end = start;
+  // Rising pulses: base -> doubled -> base.
+  for (Duration w : rising_widths) {
+    schedule.AddSegment(t, w, doubled);
+    last_end = t + w;
+    t = last_end + gap;
+  }
+  // "the producer keeps its default rate high": the plateau begins where the last
+  // rising pulse ended; falling pulses dip back to base.
+  schedule.AddSegment(last_end, Duration::Seconds(3600), doubled);
+  TimePoint f = last_end + gap;
+  for (Duration w : falling_widths) {
+    schedule.AddSegment(f, w, base);
+    f += w + gap;
+  }
+  return schedule;
+}
+
+}  // namespace realrate

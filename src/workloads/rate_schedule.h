@@ -1,0 +1,44 @@
+// Piecewise-constant rate schedules, used to drive the Fig. 6/7 pulse experiments:
+// "The producer generated rising pulses of various widths, doubling its rate of
+// production in bytes/cycle for a period of time before falling back ... After running
+// for three rising pulses, the producer keeps its default rate high and generates three
+// falling pulses."
+#ifndef REALRATE_WORKLOADS_RATE_SCHEDULE_H_
+#define REALRATE_WORKLOADS_RATE_SCHEDULE_H_
+
+#include <vector>
+
+#include "util/time.h"
+
+namespace realrate {
+
+class RateSchedule {
+ public:
+  // A constant schedule.
+  explicit RateSchedule(double base_value) : base_(base_value) {}
+
+  // Overrides the value to `value` during [start, start + width).
+  RateSchedule& AddSegment(TimePoint start, Duration width, double value);
+
+  double ValueAt(TimePoint t) const;
+  double base() const { return base_; }
+
+  // The paper's Fig. 6 stimulus: three rising pulses of widths `w1..w3` where the value
+  // doubles, then the value stays doubled with three falling pulses back to base.
+  static RateSchedule PaperPulses(double base, double doubled, TimePoint start,
+                                  std::vector<Duration> rising_widths, Duration gap,
+                                  std::vector<Duration> falling_widths);
+
+ private:
+  struct Segment {
+    TimePoint start;
+    TimePoint end;
+    double value;
+  };
+  double base_;
+  std::vector<Segment> segments_;  // Later segments override earlier ones.
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_WORKLOADS_RATE_SCHEDULE_H_

@@ -1,0 +1,66 @@
+#include "workloads/server.h"
+
+#include <algorithm>
+
+#include "task/thread.h"
+#include "util/assert.h"
+
+namespace realrate {
+
+RequestServerWork::RequestServerWork(BoundedBuffer* in, int64_t request_bytes,
+                                     Cycles cycles_per_request)
+    : in_(in), request_bytes_(request_bytes), cycles_per_request_(cycles_per_request) {
+  RR_EXPECTS(in != nullptr);
+  RR_EXPECTS(request_bytes > 0);
+  RR_EXPECTS(cycles_per_request > 0);
+}
+
+RunResult RequestServerWork::Run(TimePoint /*now*/, Cycles granted) {
+  Cycles used = 0;
+  while (used < granted) {
+    if (!request_in_hand_) {
+      if (!in_->TryPopExact(request_bytes_)) {
+        in_->WaitForData(self()->id());
+        return RunResult::Blocked(used, in_->id());
+      }
+      request_in_hand_ = true;
+      into_request_ = 0;
+    }
+    const Cycles step = std::min(cycles_per_request_ - into_request_, granted - used);
+    used += step;
+    into_request_ += step;
+    if (into_request_ >= cycles_per_request_) {
+      request_in_hand_ = false;
+      ++served_;
+      self()->AddProgress(1);
+    }
+  }
+  return RunResult::Ran(used);
+}
+
+TypingProcess::TypingProcess(Simulator& sim, TtyPort* tty, const Config& config)
+    : sim_(sim), tty_(tty), config_(config), rng_(config.seed) {
+  RR_EXPECTS(tty != nullptr);
+  RR_EXPECTS(config.mean_think.IsPositive());
+}
+
+void TypingProcess::Start() {
+  RR_EXPECTS(!running_);
+  running_ = true;
+  ScheduleNext();
+}
+
+void TypingProcess::ScheduleNext() {
+  const Duration gap =
+      Duration::FromSeconds(rng_.NextExponential(config_.mean_think.ToSeconds()));
+  sim_.ScheduleAfter(std::max(gap, Duration::Micros(100)), [this] {
+    if (!running_) {
+      return;
+    }
+    ++keystrokes_;
+    tty_->PushInput(sim_.Now());
+    ScheduleNext();
+  });
+}
+
+}  // namespace realrate

@@ -1,0 +1,125 @@
+// CPU accounting identities: every cycle of simulated time lands in exactly one
+// accounting category, across scheduler types and load mixes.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "exp/system.h"
+#include "workloads/misc_work.h"
+#include "workloads/producer_consumer.h"
+#include "workloads/rate_schedule.h"
+
+namespace realrate {
+namespace {
+
+Cycles TotalAccounted(const Cpu& cpu) {
+  return cpu.Used(CpuUse::kUser) + cpu.Used(CpuUse::kDispatch) + cpu.Used(CpuUse::kTimer) +
+         cpu.Used(CpuUse::kController) + cpu.Used(CpuUse::kIdle);
+}
+
+class AccountingIdentityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AccountingIdentityTest, EveryCycleAccountedOnce) {
+  // Parameter selects the load mix.
+  const int mix = GetParam();
+  System system;
+  switch (mix) {
+    case 0:
+      break;  // Idle machine.
+    case 1:
+      system.controller().AddMiscellaneous(
+          system.Spawn("hog", std::make_unique<CpuHogWork>()));
+      break;
+    case 2: {
+      for (int i = 0; i < 3; ++i) {
+        system.controller().AddMiscellaneous(
+            system.Spawn("hog" + std::to_string(i), std::make_unique<CpuHogWork>()));
+      }
+      break;
+    }
+    case 3: {
+      BoundedBuffer* q = system.CreateQueue("q", 4'000);
+      SimThread* p = system.Spawn(
+          "p", std::make_unique<ProducerWork>(q, 400'000, RateSchedule(100.0)));
+      SimThread* c = system.Spawn("c", std::make_unique<ConsumerWork>(q, 2'000));
+      system.queues().Register(q, p->id(), QueueRole::kProducer);
+      system.queues().Register(q, c->id(), QueueRole::kConsumer);
+      system.controller().AddRealTime(p, Proportion::Ppt(50), Duration::Millis(10));
+      system.controller().AddRealRate(c);
+      break;
+    }
+    default:
+      FAIL();
+  }
+
+  const Duration run = Duration::Seconds(2);
+  system.Start();
+  system.RunFor(run);
+
+  // Identity: every cycle of wall time appears in exactly one category. The controller
+  // charges through StealCycles, which defers consumption into subsequent ticks, so
+  // allow one tick of in-flight backlog.
+  const Cycles wall = system.sim().cpu().DurationToCycles(run);
+  const Cycles accounted = TotalAccounted(system.sim().cpu());
+  EXPECT_GE(accounted, wall - system.machine().cycles_per_tick());
+  // Over-accounting can only come from the same in-flight backlog.
+  EXPECT_LE(accounted, wall + system.machine().cycles_per_tick() +
+                           system.sim().cpu().ControllerCost(4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Mixes, AccountingIdentityTest, ::testing::Values(0, 1, 2, 3));
+
+TEST(AccountingTest, IdleMachineIsAllIdlePlusOverheads) {
+  System system;
+  system.Start();
+  system.RunFor(Duration::Seconds(1));
+  const Cpu& cpu = system.sim().cpu();
+  EXPECT_EQ(cpu.Used(CpuUse::kUser), 0);
+  EXPECT_GT(cpu.Used(CpuUse::kIdle), 0);
+  EXPECT_GT(cpu.Used(CpuUse::kController), 0);  // The controller still runs.
+  EXPECT_GT(cpu.Used(CpuUse::kTimer), 0);
+  EXPECT_GT(cpu.Used(CpuUse::kDispatch), 0);
+}
+
+TEST(AccountingTest, BusyMachineHasLittleIdleOnceRamped) {
+  System system;
+  SimThread* hog = system.Spawn("hog", std::make_unique<CpuHogWork>());
+  system.controller().AddMiscellaneous(hog);
+  system.Start();
+  system.RunFor(Duration::Seconds(8));  // Let the constant-pressure ramp finish.
+  const Cycles user_before = system.sim().cpu().Used(CpuUse::kUser);
+  system.RunFor(Duration::Seconds(1));
+  // Once the hog's allocation has ramped to the ceiling (0.95), it consumes most of
+  // every second; the rest is the reserved spare capacity plus overheads.
+  const Cycles user_gained = system.sim().cpu().Used(CpuUse::kUser) - user_before;
+  const Cycles wall = system.sim().cpu().DurationToCycles(Duration::Seconds(1));
+  EXPECT_GT(user_gained, wall * 85 / 100);
+}
+
+TEST(AccountingTest, OverheadCategoriesScaleWithLoad) {
+  // More threads blocking/waking => more timer and dispatch work.
+  auto run = [](int pairs) {
+    System system;
+    for (int i = 0; i < pairs; ++i) {
+      BoundedBuffer* q = system.CreateQueue("q" + std::to_string(i), 2'000);
+      SimThread* p = system.Spawn(
+          "p" + std::to_string(i),
+          std::make_unique<ProducerWork>(q, 100'000, RateSchedule(100.0)));
+      SimThread* c =
+          system.Spawn("c" + std::to_string(i), std::make_unique<ConsumerWork>(q, 500));
+      system.queues().Register(q, p->id(), QueueRole::kProducer);
+      system.queues().Register(q, c->id(), QueueRole::kConsumer);
+      system.controller().AddRealTime(p, Proportion::Ppt(50), Duration::Millis(10));
+      system.controller().AddRealRate(c);
+    }
+    system.Start();
+    system.RunFor(Duration::Seconds(1));
+    return system.sim().cpu().Used(CpuUse::kTimer) +
+           system.sim().cpu().Used(CpuUse::kDispatch);
+  };
+  EXPECT_GT(run(4), run(1));
+}
+
+}  // namespace
+}  // namespace realrate

@@ -1,0 +1,238 @@
+// FeedbackAllocator behaviour on a live simulated system: registration/admission,
+// adaptation of real-rate and miscellaneous threads, squishing, quality exceptions.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "exp/system.h"
+#include "util/stats.h"
+#include "workloads/misc_work.h"
+#include "workloads/producer_consumer.h"
+#include "workloads/rate_schedule.h"
+
+namespace realrate {
+namespace {
+
+TEST(ControllerTest, RealTimeAdmissionControl) {
+  System system{};
+  SimThread* a = system.Spawn("a", std::make_unique<CpuHogWork>());
+  SimThread* b = system.Spawn("b", std::make_unique<CpuHogWork>());
+  SimThread* c = system.Spawn("c", std::make_unique<CpuHogWork>());
+  EXPECT_TRUE(system.controller().AddRealTime(a, Proportion::Ppt(500), Duration::Millis(10)));
+  EXPECT_TRUE(system.controller().AddRealTime(b, Proportion::Ppt(400), Duration::Millis(20)));
+  // 0.5 + 0.4 + 0.2 > 0.95: rejected.
+  EXPECT_FALSE(system.controller().AddRealTime(c, Proportion::Ppt(200), Duration::Millis(10)));
+  EXPECT_EQ(system.controller().controlled_count(), 2u);
+  EXPECT_DOUBLE_EQ(system.controller().FixedReservedSum(), 0.9);
+}
+
+TEST(ControllerTest, RealTimeReservationIsNotAdapted) {
+  System system{};
+  SimThread* rt = system.Spawn("rt", std::make_unique<CpuHogWork>());
+  ASSERT_TRUE(system.controller().AddRealTime(rt, Proportion::Ppt(300), Duration::Millis(10)));
+  system.Start();
+  system.RunFor(Duration::Seconds(2));
+  EXPECT_EQ(rt->proportion().ppt(), 300);
+  EXPECT_EQ(rt->period(), Duration::Millis(10));
+  const double share = static_cast<double>(rt->total_cycles()) /
+                       static_cast<double>(system.sim().cpu().DurationToCycles(Duration::Seconds(2)));
+  EXPECT_NEAR(share, 0.30, 0.02);
+}
+
+TEST(ControllerTest, AperiodicRealTimeGetsDefaultPeriod) {
+  System system{};
+  SimThread* t = system.Spawn("t", std::make_unique<CpuHogWork>());
+  ASSERT_TRUE(system.controller().AddAperiodicRealTime(t, Proportion::Ppt(200)));
+  EXPECT_EQ(t->period(), Duration::Millis(30));  // The paper's default.
+  EXPECT_EQ(system.controller().ClassOf(t->id()), ThreadClass::kAperiodicRealTime);
+}
+
+TEST(ControllerTest, MiscellaneousHogGrowsTowardAvailableCapacity) {
+  System system{};
+  SimThread* hog = system.Spawn("hog", std::make_unique<CpuHogWork>());
+  system.controller().AddMiscellaneous(hog);
+  system.Start();
+  system.RunFor(Duration::Seconds(10));
+  // Constant pressure with nothing competing: the hog's allocation keeps growing
+  // toward the ceiling.
+  EXPECT_GT(hog->proportion().ppt(), 500);
+}
+
+TEST(ControllerTest, TwoMiscHogsConvergeToEqualShares) {
+  System system{};
+  SimThread* a = system.Spawn("a", std::make_unique<CpuHogWork>());
+  SimThread* b = system.Spawn("b", std::make_unique<CpuHogWork>());
+  system.controller().AddMiscellaneous(a);
+  system.controller().AddMiscellaneous(b);
+  system.Start();
+  system.RunFor(Duration::Seconds(20));
+  // "In the absence of other information, this policy results in equal allocation of
+  // the CPU to all competing jobs over time."
+  EXPECT_NEAR(a->proportion().ppt(), b->proportion().ppt(), 60);
+  EXPECT_LE(a->proportion().ppt() + b->proportion().ppt(), 960);
+}
+
+TEST(ControllerTest, ImportanceGivesWeightedShares) {
+  System system{};
+  SimThread* big = system.Spawn("big", std::make_unique<CpuHogWork>());
+  SimThread* small = system.Spawn("small", std::make_unique<CpuHogWork>());
+  big->set_importance(3.0);
+  system.controller().AddMiscellaneous(big);
+  system.controller().AddMiscellaneous(small);
+  system.Start();
+  system.RunFor(Duration::Seconds(20));
+  EXPECT_GT(big->proportion().ppt(), small->proportion().ppt() + 100);
+  EXPECT_GT(small->proportion().ppt(), 0);  // Never starved.
+}
+
+TEST(ControllerTest, SquishKeepsTotalUnderThreshold) {
+  System system{};
+  std::vector<SimThread*> hogs;
+  for (int i = 0; i < 4; ++i) {
+    SimThread* t = system.Spawn("hog" + std::to_string(i), std::make_unique<CpuHogWork>());
+    system.controller().AddMiscellaneous(t);
+    hogs.push_back(t);
+  }
+  system.Start();
+  system.RunFor(Duration::Seconds(15));
+  int total = 0;
+  for (SimThread* t : hogs) {
+    total += t->proportion().ppt();
+  }
+  // Allow one ppt of round-to-nearest slack per squished thread.
+  EXPECT_LE(total, 950 + static_cast<int>(hogs.size()));
+  EXPECT_GT(system.controller().squish_events(), 0);
+}
+
+TEST(ControllerTest, RealRateConsumerTracksProducerRate) {
+  System system{};
+  BoundedBuffer* q = system.CreateQueue("pipe", 4'000);
+  SimThread* producer = system.Spawn(
+      "producer", std::make_unique<ProducerWork>(q, 400'000, RateSchedule(100.0)));
+  SimThread* consumer =
+      system.Spawn("consumer", std::make_unique<ConsumerWork>(q, 2'000));
+  system.queues().Register(q, producer->id(), QueueRole::kProducer);
+  system.queues().Register(q, consumer->id(), QueueRole::kConsumer);
+  ASSERT_TRUE(system.controller().AddRealTime(producer, Proportion::Ppt(50),
+                                              Duration::Millis(10)));
+  system.controller().AddRealRate(consumer);
+  system.Start();
+  system.RunFor(Duration::Seconds(8));
+
+  // Producer: 5% of 400 MHz / 400k cycles/item = 50 items/s * 100 B = 5000 B/s.
+  // Consumer must match: 5000 B/s * 2000 cyc/B = 10 Mcyc/s = 2.5% => 25 ppt. The
+  // instantaneous allocation carries a small quantization limit cycle, so compare the
+  // time-averaged allocation and delivered rate.
+  RunningStats alloc;
+  RunningStats fill;
+  const int64_t bytes_before = consumer->progress_units();
+  for (int i = 0; i < 40; ++i) {
+    system.RunFor(Duration::Millis(50));
+    alloc.Add(consumer->proportion().ppt());
+    fill.Add(q->FillFraction());
+  }
+  const double measured_rate =
+      static_cast<double>(consumer->progress_units() - bytes_before) / 2.0;
+  EXPECT_NEAR(alloc.mean(), 25, 8);
+  EXPECT_NEAR(fill.mean(), 0.5, 0.15);
+  EXPECT_NEAR(measured_rate, 5000.0, 500.0);
+}
+
+TEST(ControllerTest, QualityExceptionFiresWhenDemandIsInfeasible) {
+  ControllerConfig config;
+  config.quality_patience = 10;
+  SystemConfig sys_config;
+  sys_config.controller = config;
+  System system(sys_config);
+
+  BoundedBuffer* q = system.CreateQueue("pipe", 2'000);
+  // Producer floods; consumer needs ~190% of the CPU to keep up => impossible.
+  SimThread* producer = system.Spawn(
+      "producer", std::make_unique<ProducerWork>(q, 100'000, RateSchedule(200.0)));
+  SimThread* consumer =
+      system.Spawn("consumer", std::make_unique<ConsumerWork>(q, 10'000));
+  system.queues().Register(q, producer->id(), QueueRole::kProducer);
+  system.queues().Register(q, consumer->id(), QueueRole::kConsumer);
+  ASSERT_TRUE(system.controller().AddRealTime(producer, Proportion::Ppt(100),
+                                              Duration::Millis(10)));
+  system.controller().AddRealRate(consumer);
+
+  int64_t exceptions_seen = 0;
+  system.controller().SetQualityExceptionFn([&](const QualityException& e) {
+    ++exceptions_seen;
+    EXPECT_EQ(e.thread, consumer);
+    EXPECT_EQ(e.queue, q);
+  });
+  system.Start();
+  system.RunFor(Duration::Seconds(5));
+  EXPECT_GT(exceptions_seen, 0);
+  EXPECT_EQ(system.controller().quality_exceptions(), exceptions_seen);
+}
+
+TEST(ControllerTest, AdaptiveAdmissionShrinksThresholdOnMisses) {
+  ControllerConfig config;
+  config.adaptive_admission = true;
+  SystemConfig sys_config;
+  sys_config.controller = config;
+  System system(sys_config);
+  const double before = system.controller().overload_threshold();
+
+  // Oversubscribed real-time pair (admitted separately under the threshold, but with a
+  // CPU-heavy dispatch they cannot both be served; misses follow).
+  SimThread* a = system.Spawn("a", std::make_unique<CpuHogWork>());
+  SimThread* b = system.Spawn("b", std::make_unique<CpuHogWork>());
+  ASSERT_TRUE(system.controller().AddRealTime(a, Proportion::Ppt(500), Duration::Millis(2)));
+  ASSERT_TRUE(system.controller().AddRealTime(b, Proportion::Ppt(450), Duration::Millis(2)));
+  system.Start();
+  system.RunFor(Duration::Seconds(2));
+  // With overheads charged, 95% of reservations cannot all be honored: threshold drops.
+  EXPECT_LT(system.controller().overload_threshold(), before);
+}
+
+TEST(ControllerTest, RemoveStopsManagement) {
+  System system{};
+  SimThread* hog = system.Spawn("hog", std::make_unique<CpuHogWork>());
+  system.controller().AddMiscellaneous(hog);
+  system.Start();
+  system.RunFor(Duration::Seconds(1));
+  system.controller().Remove(hog);
+  const auto ppt = hog->proportion().ppt();
+  system.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(hog->proportion().ppt(), ppt);  // Frozen after removal.
+  EXPECT_EQ(system.controller().controlled_count(), 0u);
+}
+
+TEST(ControllerTest, PeriodEstimationGrowsPeriodOfTinyAllocation) {
+  ControllerConfig config;
+  config.enable_period_estimation = true;
+  SystemConfig sys_config;
+  sys_config.controller = config;
+  System system(sys_config);
+
+  BoundedBuffer* q = system.CreateQueue("pipe", 100'000);
+  // A trickle producer: the consumer needs well under 2% CPU, so quantization error
+  // dominates and the period-estimation heuristic should stretch its period.
+  SimThread* producer = system.Spawn(
+      "producer", std::make_unique<ProducerWork>(q, 4'000'000, RateSchedule(100.0)));
+  SimThread* consumer =
+      system.Spawn("consumer", std::make_unique<ConsumerWork>(q, 1'000));
+  system.queues().Register(q, producer->id(), QueueRole::kProducer);
+  system.queues().Register(q, consumer->id(), QueueRole::kConsumer);
+  ASSERT_TRUE(system.controller().AddRealTime(producer, Proportion::Ppt(50),
+                                              Duration::Millis(10)));
+  system.controller().AddRealRate(consumer);
+  system.Start();
+  system.RunFor(Duration::Seconds(5));
+  EXPECT_GT(system.controller().PeriodOf(consumer->id()), Duration::Millis(30));
+}
+
+TEST(ControllerTest, IntrospectionOnUnknownThreadIsBenign) {
+  System system{};
+  EXPECT_DOUBLE_EQ(system.controller().DesiredFraction(99), 0.0);
+  EXPECT_DOUBLE_EQ(system.controller().GrantedFraction(99), 0.0);
+  EXPECT_EQ(system.controller().PeriodOf(99), Duration::Zero());
+  EXPECT_FALSE(system.controller().ClassOf(99).has_value());
+}
+
+}  // namespace
+}  // namespace realrate

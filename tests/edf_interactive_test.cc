@@ -1,0 +1,187 @@
+// EDF dispatch order for the reservation scheduler, and the §3.2 interactive-class
+// heuristic (small period, proportion from run-before-block burst measurement).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "exp/system.h"
+#include "sched/machine.h"
+#include "sched/rbs.h"
+#include "sim/simulator.h"
+#include "task/registry.h"
+#include "util/stats.h"
+#include "workloads/misc_work.h"
+#include "workloads/server.h"
+
+namespace realrate {
+namespace {
+
+struct EdfRig {
+  Simulator sim;
+  ThreadRegistry threads;
+  RbsScheduler rbs;
+  Machine machine;
+
+  explicit EdfRig(DispatchOrder order)
+      : rbs(sim.cpu(), RbsConfig{.order = order}),
+        machine(sim, rbs, threads,
+                MachineConfig{.dispatch_interval = Duration::Millis(1),
+                              .charge_overheads = false}) {}
+
+  SimThread* Hog(const std::string& name, int ppt, Duration period) {
+    SimThread* t = threads.Create(name, std::make_unique<CpuHogWork>());
+    machine.Attach(t);
+    rbs.SetReservation(t, Proportion::Ppt(ppt), period, sim.Now());
+    return t;
+  }
+};
+
+// The classic RMS/EDF separation: two tasks at 95% combined utilization with
+// non-harmonic periods. RMS (above the 2-task Liu-Layland bound of ~82.8%) shortchanges
+// the longer-period task; EDF schedules any feasible set up to 100%.
+TEST(EdfTest, EdfMeetsDeadlinesWhereRateMonotonicMisses) {
+  auto run = [](DispatchOrder order) {
+    EdfRig rig(order);
+    SimThread* fast = rig.Hog("fast", 500, Duration::Millis(10));   // U = 0.50
+    SimThread* slow = rig.Hog("slow", 450, Duration::Millis(14));   // U = 0.45
+    rig.machine.Start();
+    rig.sim.RunFor(Duration::Seconds(2));
+    return std::make_pair(fast->deadline_misses(), slow->deadline_misses());
+  };
+  const auto [rm_fast, rm_slow] = run(DispatchOrder::kRateMonotonic);
+  const auto [edf_fast, edf_slow] = run(DispatchOrder::kEarliestDeadlineFirst);
+  EXPECT_EQ(rm_fast, 0);     // RMS always serves the shorter period.
+  EXPECT_GT(rm_slow, 10);    // ...at the longer period's expense.
+  EXPECT_EQ(edf_fast, 0);    // EDF serves both.
+  EXPECT_EQ(edf_slow, 0);
+}
+
+TEST(EdfTest, ProportionsStillDeliveredUnderEdf) {
+  EdfRig rig(DispatchOrder::kEarliestDeadlineFirst);
+  SimThread* a = rig.Hog("a", 300, Duration::Millis(10));
+  SimThread* b = rig.Hog("b", 600, Duration::Millis(30));
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Seconds(2));
+  const auto total = static_cast<double>(rig.sim.cpu().DurationToCycles(Duration::Seconds(2)));
+  EXPECT_NEAR(static_cast<double>(a->total_cycles()) / total, 0.30, 0.01);
+  EXPECT_NEAR(static_cast<double>(b->total_cycles()) / total, 0.60, 0.01);
+}
+
+TEST(EdfTest, UnreservedStillRunsInSlackUnderEdf) {
+  EdfRig rig(DispatchOrder::kEarliestDeadlineFirst);
+  rig.Hog("reserved", 400, Duration::Millis(10));
+  SimThread* background = rig.threads.Create("bg", std::make_unique<CpuHogWork>());
+  rig.machine.Attach(background);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  const auto total = static_cast<double>(rig.sim.cpu().DurationToCycles(Duration::Seconds(1)));
+  EXPECT_NEAR(static_cast<double>(background->total_cycles()) / total, 0.60, 0.01);
+}
+
+TEST(EdfTest, DeterministicTieBreakByThreadId) {
+  // Same period and phase: the lower id must win consistently.
+  EdfRig rig(DispatchOrder::kEarliestDeadlineFirst);
+  SimThread* a = rig.Hog("a", 400, Duration::Millis(10));
+  SimThread* b = rig.Hog("b", 400, Duration::Millis(10));
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Millis(10));
+  // Within the first period, a (id 0) runs its budget before b.
+  EXPECT_GE(a->total_cycles(), b->total_cycles());
+}
+
+// --- Interactive class ---
+
+TEST(BurstMeasurementTest, OnBurstEndFoldsIntoEwma) {
+  ThreadRegistry reg;
+  SimThread* t = reg.Create("t", std::make_unique<CpuHogWork>());
+  t->OnRan(100'000);
+  t->OnBurstEnd();
+  EXPECT_DOUBLE_EQ(t->burst_ewma_cycles(), 100'000.0);
+  t->OnRan(200'000);
+  t->OnBurstEnd();
+  EXPECT_NEAR(t->burst_ewma_cycles(), 0.7 * 100'000 + 0.3 * 200'000, 1.0);
+  // An empty burst (woken, never ran) leaves the average untouched.
+  const double before = t->burst_ewma_cycles();
+  t->OnBurstEnd();
+  EXPECT_DOUBLE_EQ(t->burst_ewma_cycles(), before);
+}
+
+TEST(InteractiveClassTest, PeriodIsSmallAndProportionTracksBursts) {
+  System system;
+  TtyPort tty("console");
+  system.machine().Attach(&tty);
+  // 400k-cycle bursts = 1 ms of CPU per keystroke.
+  SimThread* editor =
+      system.Spawn("editor", std::make_unique<InteractiveWork>(&tty, 400'000));
+  system.controller().AddInteractive(editor);
+  EXPECT_EQ(system.controller().PeriodOf(editor->id()), Duration::Millis(10));
+  EXPECT_EQ(system.controller().ClassOf(editor->id()), ThreadClass::kInteractive);
+
+  TypingProcess typist(system.sim(), &tty, {.mean_think = Duration::Millis(200), .seed = 3});
+  system.Start();
+  typist.Start();
+  system.RunFor(Duration::Seconds(5));
+
+  // Burst = 400k cycles; period = 10 ms = 4M cycles; headroom 1.5 => ~150 ppt desired.
+  EXPECT_NEAR(system.controller().DesiredFraction(editor->id()), 0.15, 0.05);
+}
+
+TEST(InteractiveClassTest, LatencyBoundedUnderLoad) {
+  // The §2 livelock antidote: an editor competing with a full-machine hog still
+  // services keystrokes within a few controller periods.
+  System system;
+  TtyPort tty("console");
+  system.machine().Attach(&tty);
+  SimThread* editor =
+      system.Spawn("editor", std::make_unique<InteractiveWork>(&tty, 400'000));
+  SimThread* hog = system.Spawn("hog", std::make_unique<CpuHogWork>());
+  system.controller().AddInteractive(editor);
+  system.controller().AddMiscellaneous(hog);
+
+  TypingProcess typist(system.sim(), &tty, {.mean_think = Duration::Millis(250), .seed = 9});
+  system.Start();
+  typist.Start();
+  system.RunFor(Duration::Seconds(20));
+
+  SampleSet latencies;
+  for (double l : tty.latencies()) {
+    latencies.Add(l * 1000.0);
+  }
+  ASSERT_GT(latencies.size(), 30u);
+  EXPECT_LT(latencies.Percentile(95), 30.0);  // Human-imperceptible.
+  // And the hog still got the bulk of the machine.
+  const auto total = static_cast<double>(
+      system.sim().cpu().DurationToCycles(Duration::Seconds(20)));
+  EXPECT_GT(static_cast<double>(hog->total_cycles()) / total, 0.7);
+}
+
+TEST(InteractiveClassTest, BeatsMiscellaneousClassOnLatency) {
+  auto p95_for = [](bool interactive) {
+    System system;
+    TtyPort tty("console");
+    system.machine().Attach(&tty);
+    SimThread* editor =
+        system.Spawn("editor", std::make_unique<InteractiveWork>(&tty, 400'000));
+    SimThread* hog = system.Spawn("hog", std::make_unique<CpuHogWork>());
+    if (interactive) {
+      system.controller().AddInteractive(editor);
+    } else {
+      system.controller().AddMiscellaneous(editor);
+    }
+    system.controller().AddMiscellaneous(hog);
+    TypingProcess typist(system.sim(), &tty,
+                         {.mean_think = Duration::Millis(250), .seed = 9});
+    system.Start();
+    typist.Start();
+    system.RunFor(Duration::Seconds(20));
+    SampleSet latencies;
+    for (double l : tty.latencies()) {
+      latencies.Add(l * 1000.0);
+    }
+    return latencies.empty() ? 1e9 : latencies.Percentile(95);
+  };
+  EXPECT_LT(p95_for(true), p95_for(false));
+}
+
+}  // namespace
+}  // namespace realrate

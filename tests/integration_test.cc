@@ -1,0 +1,179 @@
+// End-to-end scenario tests: the paper's experiments as assertions (short runs).
+#include <gtest/gtest.h>
+
+#include "exp/scenarios.h"
+#include "util/stats.h"
+
+namespace realrate {
+namespace {
+
+TEST(Fig5Integration, ControllerOverheadIsLinearInProcesses) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int n = 0; n <= 40; n += 10) {
+    const ControllerOverheadPoint p = MeasureControllerOverhead(n, Duration::Seconds(1));
+    xs.push_back(n);
+    ys.push_back(p.overhead_fraction);
+  }
+  const LinearFit fit = FitLine(xs, ys);
+  // The paper: y = .00066x + .00057 with R^2 = .999.
+  EXPECT_NEAR(fit.slope, 0.00066, 0.0001);
+  EXPECT_NEAR(fit.intercept, 0.00057, 0.0002);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(Fig5Integration, OverheadAt40ProcessesMatchesPaper) {
+  const ControllerOverheadPoint p = MeasureControllerOverhead(40, Duration::Seconds(1));
+  EXPECT_NEAR(p.overhead_fraction, 0.027, 0.002);  // "the overhead is 2.7%".
+}
+
+TEST(Fig6Integration, ConsumerTracksPulses) {
+  PipelineParams params;
+  params.run_for = Duration::Seconds(12);  // Covers the first two rising pulses.
+  const PipelineResult r = RunPipelineScenario(params);
+
+  // Response to the doubling within the paper's ballpark (~1/3 s).
+  EXPECT_GT(r.response_time_s, 0.0);
+  EXPECT_LT(r.response_time_s, 0.6);
+
+  // During the first pulse plateau [6.5s, 9s) the consumer's rate matches the doubled
+  // producer rate (10,000 B/s) within 10%.
+  const double mean_rate = r.consumer_rate.MeanOver(
+      TimePoint::FromNanos(6'500'000'000), TimePoint::FromNanos(9'000'000'000));
+  EXPECT_NEAR(mean_rate, 10'000.0, 1'000.0);
+
+  // Before the pulses, rates match the base 5000 B/s.
+  const double base_rate = r.consumer_rate.MeanOver(TimePoint::FromNanos(2'000'000'000),
+                                                    TimePoint::FromNanos(5'000'000'000));
+  EXPECT_NEAR(base_rate, 5'000.0, 500.0);
+
+  // The fill level stays near the half-full set point in steady state.
+  EXPECT_LT(r.fill_deviation, 0.1);
+  EXPECT_EQ(r.consumer_deadline_misses, 0);
+  EXPECT_EQ(r.quality_exceptions, 0);
+}
+
+TEST(Fig6Integration, FillLevelNeverSaturatesInSteadyState) {
+  PipelineParams params;
+  params.run_for = Duration::Seconds(20);
+  const PipelineResult r = RunPipelineScenario(params);
+  // After warm-up the queue neither fills nor empties (no progress stalls).
+  for (const auto& p : r.fill_level.points()) {
+    if (p.t >= TimePoint::FromNanos(2'000'000'000)) {
+      EXPECT_GT(p.value, 0.05) << "queue drained at t=" << p.t.ToSeconds();
+      EXPECT_LT(p.value, 0.95) << "queue saturated at t=" << p.t.ToSeconds();
+    }
+  }
+}
+
+TEST(Fig7Integration, SquishPreservesReservationAndSharesRest) {
+  PipelineParams params;
+  params.with_hog = true;
+  params.run_for = Duration::Seconds(15);
+  const PipelineResult r = RunPipelineScenario(params);
+
+  // The producer's reservation is never squished.
+  const RunningStats producer_alloc = r.producer_alloc_ppt.Stats();
+  EXPECT_EQ(producer_alloc.min(), 50.0);
+  EXPECT_EQ(producer_alloc.max(), 50.0);
+
+  // The controller squished on (nearly) every interval once the hog ramped.
+  EXPECT_GT(r.squish_events, 500);
+
+  // The consumer still tracks the producer through the overload (measured before the
+  // pulse program begins, where the target is the 5000 B/s base rate).
+  const double rate = r.consumer_rate.MeanOver(TimePoint::FromNanos(2'000'000'000),
+                                               TimePoint::FromNanos(5'000'000'000));
+  EXPECT_NEAR(rate, 5'000.0, 750.0);
+
+  // The hog ends up with roughly the rest of the machine: ~0.95 - 0.05 - 0.025.
+  EXPECT_GT(r.hog_final_alloc_ppt, 700.0);
+  EXPECT_LE(r.hog_final_alloc_ppt, 900.0);
+}
+
+TEST(Fig7Integration, HogAndConsumerOscillate) {
+  // "One interesting result is the high frequency oscillation in allocation between
+  // the load and the consumer."
+  PipelineParams params;
+  params.with_hog = true;
+  params.run_for = Duration::Seconds(15);
+  const PipelineResult r = RunPipelineScenario(params);
+  RunningStats hog_tail;
+  for (const auto& p : r.hog_alloc_ppt.points()) {
+    if (p.t >= TimePoint::FromNanos(8'000'000'000)) {
+      hog_tail.Add(p.value);
+    }
+  }
+  EXPECT_GT(hog_tail.stddev(), 0.5);   // Visibly oscillating...
+  EXPECT_LT(hog_tail.stddev(), 60.0);  // ...but not unstable.
+}
+
+TEST(Fig8Integration, OverheadCurveShape) {
+  const DispatchOverheadPoint base = MeasureDispatchOverhead(100, Duration::Seconds(1));
+  const DispatchOverheadPoint knee = MeasureDispatchOverhead(4'000, Duration::Seconds(1));
+  const DispatchOverheadPoint high = MeasureDispatchOverhead(10'000, Duration::Seconds(1));
+  // Monotone decreasing availability.
+  EXPECT_GT(base.cpu_available, knee.cpu_available);
+  EXPECT_GT(knee.cpu_available, high.cpu_available);
+  // "There is a knee around 4000Hz. At this point the overhead is around 2.7%."
+  EXPECT_NEAR(1.0 - knee.cpu_available / base.cpu_available, 0.027, 0.006);
+  // Past the knee the overhead grows super-linearly (cache pollution).
+  EXPECT_GT(1.0 - high.cpu_available / base.cpu_available, 0.10);
+}
+
+TEST(BenefitsIntegration, FixedPriorityInvertsFeedbackDoesNot) {
+  const PathfinderResult fixed =
+      RunPathfinderScenario(SchedulerKind::kFixedPriority, Duration::Seconds(6));
+  const PathfinderResult feedback =
+      RunPathfinderScenario(SchedulerKind::kFeedbackRbs, Duration::Seconds(6));
+  // Fixed priorities: the high task ends up blocked behind the starved low task.
+  EXPECT_TRUE(fixed.high_still_blocked);
+  EXPECT_GT(fixed.high_max_wait_s, 2.0);
+  // Feedback: bounded waits, steady acquisitions.
+  EXPECT_FALSE(feedback.high_still_blocked);
+  EXPECT_LT(feedback.high_max_wait_steady_s, 0.5);
+  EXPECT_GT(feedback.high_acquisitions, 50);
+}
+
+TEST(BenefitsIntegration, NoStarvationUnderFeedback) {
+  const StarvationResult fixed =
+      RunStarvationScenario(SchedulerKind::kFixedPriority, 4.0, Duration::Seconds(4));
+  const StarvationResult feedback =
+      RunStarvationScenario(SchedulerKind::kFeedbackRbs, 4.0, Duration::Seconds(4));
+  EXPECT_TRUE(fixed.lesser_starved);
+  EXPECT_FALSE(feedback.lesser_starved);
+  EXPECT_GT(feedback.favored_cpu, feedback.lesser_cpu);  // Importance still matters.
+  EXPECT_GT(feedback.lesser_cpu, 0.02);                  // But nobody starves.
+}
+
+TEST(BenefitsIntegration, MediaPipelineDecoderIdentified) {
+  const MediaPipelineResult r = RunMediaPipelineScenario(Duration::Seconds(15));
+  // The decoder costs 10x per byte; its realized share should reflect that.
+  EXPECT_GT(r.decode_ppt / r.parse_ppt, 7.0);
+  EXPECT_LT(r.decode_ppt / r.parse_ppt, 13.0);
+  EXPECT_GT(r.rendered_bytes, 0);
+  // Inter-stage queues settle near half-full.
+  EXPECT_LT(r.max_fill_deviation, 0.3);
+}
+
+TEST(DeterminismIntegration, IdenticalRunsProduceIdenticalTraces) {
+  PipelineParams params;
+  params.run_for = Duration::Seconds(5);
+  params.with_hog = true;
+  const PipelineResult a = RunPipelineScenario(params);
+  const PipelineResult b = RunPipelineScenario(params);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_EQ(a.consumer_final_alloc_ppt, b.consumer_final_alloc_ppt);
+}
+
+TEST(DeterminismIntegration, ParameterChangesChangeTheTrace) {
+  PipelineParams params;
+  params.run_for = Duration::Seconds(5);
+  const PipelineResult a = RunPipelineScenario(params);
+  params.queue_bytes = 8'000;
+  const PipelineResult b = RunPipelineScenario(params);
+  EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+}  // namespace
+}  // namespace realrate

@@ -1,0 +1,214 @@
+// Machine: dispatch loop, blocking/waking through queues, sleep timers, overhead
+// charging, context-switch accounting.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "queue/bounded_buffer.h"
+#include "queue/registry.h"
+#include "sched/machine.h"
+#include "sched/rbs.h"
+#include "sim/simulator.h"
+#include "task/registry.h"
+#include "workloads/misc_work.h"
+#include "workloads/producer_consumer.h"
+#include "workloads/rate_schedule.h"
+
+namespace realrate {
+namespace {
+
+struct MachineRig {
+  Simulator sim;
+  ThreadRegistry threads;
+  RbsScheduler rbs{sim.cpu()};
+  QueueRegistry queues;
+  std::unique_ptr<Machine> machine;
+
+  explicit MachineRig(bool charge_overheads = false) {
+    machine = std::make_unique<Machine>(
+        sim, rbs, threads,
+        MachineConfig{.dispatch_interval = Duration::Millis(1),
+                      .charge_overheads = charge_overheads});
+  }
+};
+
+TEST(MachineTest, TicksAtDispatchInterval) {
+  MachineRig rig;
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Millis(100));
+  EXPECT_EQ(rig.machine->ticks(), 100);
+}
+
+TEST(MachineTest, IdleCpuChargedWhenNothingRunnable) {
+  MachineRig rig;
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Millis(10));
+  EXPECT_EQ(rig.sim.cpu().Used(CpuUse::kIdle), rig.sim.cpu().DurationToCycles(Duration::Millis(10)));
+  EXPECT_EQ(rig.sim.cpu().Used(CpuUse::kUser), 0);
+}
+
+TEST(MachineTest, HogConsumesFullCapacityWithoutOverheads) {
+  MachineRig rig;
+  SimThread* hog = rig.threads.Create("hog", std::make_unique<CpuHogWork>());
+  rig.machine->Attach(hog);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Millis(50));
+  EXPECT_EQ(hog->total_cycles(), rig.sim.cpu().DurationToCycles(Duration::Millis(50)));
+}
+
+TEST(MachineTest, OverheadsReduceUserCapacity) {
+  MachineRig rig(/*charge_overheads=*/true);
+  SimThread* hog = rig.threads.Create("hog", std::make_unique<CpuHogWork>());
+  rig.machine->Attach(hog);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  const Cycles total = rig.sim.cpu().DurationToCycles(Duration::Seconds(1));
+  EXPECT_LT(hog->total_cycles(), total);
+  EXPECT_GT(hog->total_cycles(), total * 9 / 10);  // Overhead is small at 1 kHz.
+  EXPECT_GT(rig.sim.cpu().Used(CpuUse::kDispatch), 0);
+  EXPECT_GT(rig.sim.cpu().Used(CpuUse::kTimer), 0);
+}
+
+TEST(MachineTest, StealCyclesTaxesFollowingTicks) {
+  MachineRig rig(/*charge_overheads=*/true);
+  SimThread* hog = rig.threads.Create("hog", std::make_unique<CpuHogWork>());
+  rig.machine->Attach(hog);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Millis(10));
+  const Cycles before = hog->total_cycles();
+  // Steal two full ticks' worth of cycles for the "controller".
+  rig.machine->StealCycles(CpuUse::kController, 800'000);
+  rig.sim.RunFor(Duration::Millis(10));
+  const Cycles gained = hog->total_cycles() - before;
+  const Cycles ten_ms = rig.sim.cpu().DurationToCycles(Duration::Millis(10));
+  EXPECT_LT(gained, ten_ms - 700'000);
+  EXPECT_EQ(rig.sim.cpu().Used(CpuUse::kController), 800'000);
+}
+
+TEST(MachineTest, ProducerConsumerBlockAndWake) {
+  MachineRig rig;
+  rig.sim.trace().SetEnabled(true);
+  BoundedBuffer* q = rig.queues.CreateQueue("q", 1'000);
+  rig.machine->Attach(q);
+
+  // Fast producer (fills the queue quickly), slow consumer.
+  SimThread* producer = rig.threads.Create(
+      "producer", std::make_unique<ProducerWork>(q, /*cycles_per_item=*/10'000,
+                                                 RateSchedule(100.0)));
+  SimThread* consumer = rig.threads.Create(
+      "consumer", std::make_unique<ConsumerWork>(q, /*cycles_per_byte=*/1'000));
+  rig.machine->Attach(producer);
+  rig.machine->Attach(consumer);
+  rig.rbs.SetReservation(producer, Proportion::Ppt(300), Duration::Millis(10), rig.sim.Now());
+  rig.rbs.SetReservation(consumer, Proportion::Ppt(300), Duration::Millis(10), rig.sim.Now());
+
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+
+  // The producer must have blocked on the full queue and been woken at least once.
+  EXPECT_GT(rig.sim.trace().Count(TraceKind::kBlock, producer->id()), 0);
+  EXPECT_GT(rig.sim.trace().Count(TraceKind::kWake, producer->id()), 0);
+  // Data flowed end to end and is conserved.
+  EXPECT_GT(q->total_popped(), 0);
+  EXPECT_EQ(q->total_pushed() - q->total_popped(), q->fill());
+}
+
+TEST(MachineTest, ConsumerBlocksOnEmptyQueue) {
+  MachineRig rig;
+  rig.sim.trace().SetEnabled(true);
+  BoundedBuffer* q = rig.queues.CreateQueue("q", 1'000);
+  rig.machine->Attach(q);
+  SimThread* consumer =
+      rig.threads.Create("consumer", std::make_unique<ConsumerWork>(q, 1'000));
+  rig.machine->Attach(consumer);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Millis(20));
+  EXPECT_EQ(consumer->state(), ThreadState::kBlocked);
+  EXPECT_EQ(rig.sim.trace().Count(TraceKind::kBlock, consumer->id()), 1);
+  // An external push wakes it.
+  q->TryPush(100);
+  rig.sim.RunFor(Duration::Millis(5));
+  EXPECT_GT(consumer->total_cycles(), 0);
+}
+
+TEST(MachineTest, SleepUntilWakesAtRequestedTick) {
+  MachineRig rig;
+  SimThread* t = rig.threads.Create("sleeper", std::make_unique<CpuHogWork>());
+  rig.machine->Attach(t);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Millis(2));
+  t->set_state(ThreadState::kRunnable);
+  rig.machine->SleepUntil(t, rig.sim.Now() + Duration::Millis(10));
+  EXPECT_EQ(t->state(), ThreadState::kSleeping);
+  const Cycles before = t->total_cycles();
+  rig.sim.RunFor(Duration::Millis(5));
+  EXPECT_EQ(t->total_cycles(), before);  // Still asleep.
+  rig.sim.RunFor(Duration::Millis(10));
+  EXPECT_GT(t->total_cycles(), before);  // Woke and ran.
+}
+
+TEST(MachineTest, CancelSleepWakesEarly) {
+  MachineRig rig;
+  SimThread* t = rig.threads.Create("sleeper", std::make_unique<CpuHogWork>());
+  rig.machine->Attach(t);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Millis(1));
+  t->set_state(ThreadState::kRunnable);
+  rig.machine->SleepUntil(t, rig.sim.Now() + Duration::Seconds(100));
+  rig.machine->CancelSleep(t);
+  EXPECT_EQ(t->state(), ThreadState::kRunnable);
+  rig.sim.RunFor(Duration::Millis(5));
+  EXPECT_GT(t->total_cycles(), 0);
+}
+
+TEST(MachineTest, CancelSleepOnRunnableIsNoOp) {
+  MachineRig rig;
+  SimThread* t = rig.threads.Create("t", std::make_unique<CpuHogWork>());
+  rig.machine->Attach(t);
+  rig.machine->CancelSleep(t);
+  EXPECT_EQ(t->state(), ThreadState::kRunnable);
+}
+
+TEST(MachineTest, WakeOnNonBlockedIsSpurious) {
+  MachineRig rig;
+  SimThread* t = rig.threads.Create("t", std::make_unique<CpuHogWork>());
+  rig.machine->Attach(t);
+  rig.machine->Wake(t->id());  // Runnable already: no-op.
+  EXPECT_EQ(t->state(), ThreadState::kRunnable);
+  rig.machine->Wake(999);  // Unknown id: no-op.
+}
+
+TEST(MachineTest, ContextSwitchesCountedBetweenThreads) {
+  MachineRig rig;
+  SimThread* a = rig.threads.Create("a", std::make_unique<CpuHogWork>());
+  SimThread* b = rig.threads.Create("b", std::make_unique<CpuHogWork>());
+  rig.machine->Attach(a);
+  rig.machine->Attach(b);
+  rig.rbs.SetReservation(a, Proportion::Ppt(450), Duration::Millis(2), rig.sim.Now());
+  rig.rbs.SetReservation(b, Proportion::Ppt(450), Duration::Millis(2), rig.sim.Now());
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Millis(100));
+  EXPECT_GT(rig.machine->context_switches(), 20);
+  EXPECT_GT(rig.machine->dispatches(), rig.machine->context_switches());
+}
+
+TEST(MachineTest, ExitedThreadLeavesScheduler) {
+  // A work model that runs once then exits.
+  class OneShotWork : public WorkModel {
+   public:
+    RunResult Run(TimePoint, Cycles granted) override { return RunResult::Exited(granted); }
+  };
+  MachineRig rig;
+  rig.sim.trace().SetEnabled(true);
+  SimThread* t = rig.threads.Create("oneshot", std::make_unique<OneShotWork>());
+  rig.machine->Attach(t);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Millis(10));
+  EXPECT_TRUE(t->HasExited());
+  EXPECT_EQ(rig.sim.trace().Count(TraceKind::kExit, t->id()), 1);
+  // Only the first tick's cycles were consumed.
+  EXPECT_EQ(t->total_cycles(), rig.sim.cpu().DurationToCycles(Duration::Millis(1)));
+}
+
+}  // namespace
+}  // namespace realrate

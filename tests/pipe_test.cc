@@ -1,0 +1,169 @@
+// SimPipe / SimSocket: the auto-registering symbiotic wrappers, plus the
+// ProgressMeter pseudo-metric (§4.5).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/progress_meter.h"
+#include "exp/system.h"
+#include "queue/pipe.h"
+#include "util/stats.h"
+#include "workloads/misc_work.h"
+
+namespace realrate {
+namespace {
+
+TEST(SimPipeTest, AttachRegistersRoles) {
+  QueueRegistry reg;
+  SimPipe pipe(reg, "p", 1'000);
+  pipe.AttachWriter(1);
+  pipe.AttachReader(2);
+
+  const auto writer_links = reg.LinkagesFor(1);
+  ASSERT_EQ(writer_links.size(), 1u);
+  EXPECT_EQ(writer_links[0].role, QueueRole::kProducer);
+  EXPECT_EQ(writer_links[0].queue, pipe.buffer());
+
+  const auto reader_links = reg.LinkagesFor(2);
+  ASSERT_EQ(reader_links.size(), 1u);
+  EXPECT_EQ(reader_links[0].role, QueueRole::kConsumer);
+}
+
+TEST(SimPipeTest, ReadWriteForwardToBuffer) {
+  QueueRegistry reg;
+  SimPipe pipe(reg, "p", 100);
+  EXPECT_TRUE(pipe.TryWrite(60));
+  EXPECT_FALSE(pipe.TryWrite(60));  // Would overflow.
+  EXPECT_EQ(pipe.TryRead(100), 60);
+  EXPECT_TRUE(pipe.buffer()->Empty());
+}
+
+TEST(SimSocketTest, DuplexRegistration) {
+  QueueRegistry reg;
+  SimSocket sock(reg, "s", 1'000);
+  sock.AttachEndpointA(1);
+  sock.AttachEndpointB(2);
+
+  // Each endpoint: producer of its send direction, consumer of its receive direction.
+  const auto a_links = reg.LinkagesFor(1);
+  ASSERT_EQ(a_links.size(), 2u);
+  EXPECT_EQ(a_links[0].queue, sock.a_to_b());
+  EXPECT_EQ(a_links[0].role, QueueRole::kProducer);
+  EXPECT_EQ(a_links[1].queue, sock.b_to_a());
+  EXPECT_EQ(a_links[1].role, QueueRole::kConsumer);
+
+  const auto b_links = reg.LinkagesFor(2);
+  ASSERT_EQ(b_links.size(), 2u);
+  EXPECT_EQ(b_links[0].role, QueueRole::kConsumer);
+  EXPECT_EQ(b_links[1].role, QueueRole::kProducer);
+}
+
+TEST(SimSocketTest, DirectionsAreIndependent) {
+  QueueRegistry reg;
+  SimSocket sock(reg, "s", 100);
+  sock.a_to_b()->TryPush(80);
+  EXPECT_EQ(sock.b_to_a()->fill(), 0);
+  EXPECT_EQ(sock.a_to_b()->fill(), 80);
+}
+
+TEST(ProgressMeterTest, StartsHalfFullAndRegistersProducer) {
+  Simulator sim;
+  QueueRegistry reg;
+  ThreadRegistry threads;
+  SimThread* t = threads.Create("hog", std::make_unique<CpuHogWork>());
+  ProgressMeter meter(sim, reg, t, "meter", {});
+  EXPECT_DOUBLE_EQ(meter.queue()->FillFraction(), 0.5);
+  ASSERT_TRUE(reg.HasMetrics(t->id()));
+  EXPECT_EQ(reg.LinkagesFor(t->id())[0].role, QueueRole::kProducer);
+}
+
+TEST(ProgressMeterTest, DrainsAtTargetRate) {
+  Simulator sim;
+  QueueRegistry reg;
+  ThreadRegistry threads;
+  SimThread* t = threads.Create("idle", std::make_unique<IdleWork>());
+  ProgressMeter::Config config;
+  config.target_rate = 500.0;
+  ProgressMeter meter(sim, reg, t, "meter", config);
+  meter.Start();
+  sim.RunFor(Duration::Seconds(1));
+  // The thread made no progress; the drain consumed 500 * 1s units from the initial
+  // half fill (1000 of 2000).
+  EXPECT_EQ(meter.drained_units(), 500);
+  EXPECT_EQ(meter.queue()->fill(), 500);
+  sim.RunFor(Duration::Seconds(2));
+  // After one more second the buffer empties and the drain finds nothing further.
+  EXPECT_TRUE(meter.queue()->Empty());
+  EXPECT_EQ(meter.drained_units(), 1'000);
+}
+
+TEST(ProgressMeterTest, FastThreadFillsAndOverflows) {
+  Simulator sim;
+  QueueRegistry reg;
+  ThreadRegistry threads;
+  SimThread* t = threads.Create("fast", std::make_unique<CpuHogWork>());
+  ProgressMeter::Config config;
+  config.target_rate = 100.0;
+  config.capacity_units = 1'000;
+  ProgressMeter meter(sim, reg, t, "meter", config);
+  meter.Start();
+  // Simulate the thread racing ahead: bump its progress directly each update.
+  for (int i = 0; i < 100; ++i) {
+    t->AddProgress(50);  // 5000/s against a target of 100/s.
+    sim.RunFor(Duration::Millis(10));
+  }
+  // Saturated up to the per-update drain allowance.
+  EXPECT_GT(meter.queue()->FillFraction(), 0.99);
+  EXPECT_GT(meter.overflow_units(), 0);
+  // Near-full queue => near-maximal negative pressure on the producer side
+  // (PressureMetric is +0.5 when full; the producer's role sign flips it).
+  EXPECT_GT(meter.queue()->PressureMetric(), 0.49);
+}
+
+TEST(ProgressMeterTest, ClosedLoopHoldsComputationAtTargetRate) {
+  // The §4.5 scenario end-to-end: a password-cracker-style pure computation, metered
+  // at 20,000 keys/s, registered real-rate. It needs 20k keys/s * 1000 cyc/key =
+  // 20 Mcyc/s = 5% of the CPU; the controller should find ~50 ppt, leaving the rest
+  // of the machine to a competing hog.
+  System system;
+  SimThread* cracker = system.Spawn("cracker", std::make_unique<CpuHogWork>(1'000));
+  SimThread* competitor = system.Spawn("competitor", std::make_unique<CpuHogWork>(1'000));
+
+  ProgressMeter::Config config;
+  config.target_rate = 20'000.0;
+  config.capacity_units = 40'000;
+  ProgressMeter meter(system.sim(), system.queues(), cracker, "keys", config);
+
+  system.controller().AddRealRate(cracker);  // Possible thanks to the pseudo-metric.
+  system.controller().AddMiscellaneous(competitor);
+
+  system.Start();
+  meter.Start();
+  system.RunFor(Duration::Seconds(10));
+
+  // Rate over the steady tail.
+  const int64_t before = cracker->progress_units();
+  system.RunFor(Duration::Seconds(4));
+  const double rate = static_cast<double>(cracker->progress_units() - before) / 4.0;
+  EXPECT_NEAR(rate, 20'000.0, 2'000.0);
+  EXPECT_NEAR(cracker->proportion().ppt(), 50, 15);
+  // The competitor absorbs most of the rest.
+  EXPECT_GT(competitor->proportion().ppt(), 700);
+}
+
+TEST(ProgressMeterTest, StopFreezesMetering) {
+  Simulator sim;
+  QueueRegistry reg;
+  ThreadRegistry threads;
+  SimThread* t = threads.Create("idle", std::make_unique<IdleWork>());
+  ProgressMeter meter(sim, reg, t, "meter", {});
+  meter.Start();
+  sim.RunFor(Duration::Millis(100));
+  const int64_t drained = meter.drained_units();
+  meter.Stop();
+  sim.RunFor(Duration::Millis(100));
+  EXPECT_EQ(meter.drained_units(), drained);
+}
+
+}  // namespace
+}  // namespace realrate

@@ -1,0 +1,183 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "queue/bounded_buffer.h"
+#include "queue/registry.h"
+#include "queue/sim_mutex.h"
+#include "queue/tty.h"
+
+namespace realrate {
+namespace {
+
+TEST(BoundedBufferTest, PushPopFillAccounting) {
+  BoundedBuffer q(0, "q", 100);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_TRUE(q.TryPush(40));
+  EXPECT_EQ(q.fill(), 40);
+  EXPECT_EQ(q.TryPop(25), 25);
+  EXPECT_EQ(q.fill(), 15);
+  EXPECT_EQ(q.total_pushed(), 40);
+  EXPECT_EQ(q.total_popped(), 25);
+}
+
+TEST(BoundedBufferTest, PushBeyondCapacityFails) {
+  BoundedBuffer q(0, "q", 100);
+  EXPECT_TRUE(q.TryPush(100));
+  EXPECT_TRUE(q.Full());
+  EXPECT_FALSE(q.TryPush(1));
+  EXPECT_EQ(q.fill(), 100);
+}
+
+TEST(BoundedBufferTest, PopFromEmptyReturnsZero) {
+  BoundedBuffer q(0, "q", 100);
+  EXPECT_EQ(q.TryPop(10), 0);
+}
+
+TEST(BoundedBufferTest, PopClampsToFill) {
+  BoundedBuffer q(0, "q", 100);
+  q.TryPush(30);
+  EXPECT_EQ(q.TryPop(50), 30);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BoundedBufferTest, PopExactAllOrNothing) {
+  BoundedBuffer q(0, "q", 100);
+  q.TryPush(30);
+  EXPECT_FALSE(q.TryPopExact(31));
+  EXPECT_EQ(q.fill(), 30);
+  EXPECT_TRUE(q.TryPopExact(30));
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BoundedBufferTest, PressureMetricMatchesFigure3) {
+  BoundedBuffer q(0, "q", 100);
+  EXPECT_DOUBLE_EQ(q.PressureMetric(), -0.5);  // Empty.
+  q.TryPush(50);
+  EXPECT_DOUBLE_EQ(q.PressureMetric(), 0.0);  // Half-full: the set point.
+  q.TryPush(50);
+  EXPECT_DOUBLE_EQ(q.PressureMetric(), 0.5);  // Full.
+}
+
+TEST(BoundedBufferTest, PushWakesWaitingConsumers) {
+  BoundedBuffer q(0, "q", 100);
+  std::vector<ThreadId> woken;
+  q.SetWakeFn([&](ThreadId t) { woken.push_back(t); });
+  q.WaitForData(7);
+  q.WaitForData(8);
+  q.TryPush(10);
+  EXPECT_EQ(woken, (std::vector<ThreadId>{7, 8}));
+  EXPECT_TRUE(q.waiting_consumers().empty());
+}
+
+TEST(BoundedBufferTest, PopWakesWaitingProducers) {
+  BoundedBuffer q(0, "q", 10);
+  q.TryPush(10);
+  std::vector<ThreadId> woken;
+  q.SetWakeFn([&](ThreadId t) { woken.push_back(t); });
+  q.WaitForSpace(3);
+  q.TryPop(5);
+  EXPECT_EQ(woken, (std::vector<ThreadId>{3}));
+}
+
+TEST(BoundedBufferTest, FailedPushDoesNotWakeAnyone) {
+  BoundedBuffer q(0, "q", 10);
+  q.TryPush(10);
+  int wakes = 0;
+  q.SetWakeFn([&](ThreadId) { ++wakes; });
+  q.WaitForData(1);
+  EXPECT_FALSE(q.TryPush(5));
+  EXPECT_EQ(wakes, 0);
+}
+
+TEST(QueueRegistryTest, RegisterAndQuery) {
+  QueueRegistry reg;
+  BoundedBuffer* q = reg.CreateQueue("pipe", 1000);
+  EXPECT_EQ(reg.queue_count(), 1u);
+  EXPECT_EQ(reg.Find(q->id()), q);
+  EXPECT_EQ(reg.Find(99), nullptr);
+
+  reg.Register(q, 1, QueueRole::kProducer);
+  reg.Register(q, 2, QueueRole::kConsumer);
+  EXPECT_TRUE(reg.HasMetrics(1));
+  EXPECT_TRUE(reg.HasMetrics(2));
+  EXPECT_FALSE(reg.HasMetrics(3));
+
+  const auto links = reg.LinkagesFor(1);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].role, QueueRole::kProducer);
+  EXPECT_EQ(links[0].queue, q);
+}
+
+TEST(QueueRegistryTest, PipelineStageHasTwoLinkages) {
+  QueueRegistry reg;
+  BoundedBuffer* in = reg.CreateQueue("in", 100);
+  BoundedBuffer* out = reg.CreateQueue("out", 100);
+  reg.Register(in, 5, QueueRole::kConsumer);
+  reg.Register(out, 5, QueueRole::kProducer);
+  EXPECT_EQ(reg.LinkagesFor(5).size(), 2u);
+}
+
+TEST(QueueRegistryTest, UnregisterRemovesAllLinkages) {
+  QueueRegistry reg;
+  BoundedBuffer* q = reg.CreateQueue("q", 100);
+  reg.Register(q, 1, QueueRole::kProducer);
+  reg.Register(q, 1, QueueRole::kConsumer);
+  reg.Unregister(1);
+  EXPECT_FALSE(reg.HasMetrics(1));
+}
+
+TEST(SimMutexTest, TryLockAndUnlock) {
+  SimMutex m("m");
+  EXPECT_FALSE(m.IsHeld());
+  EXPECT_TRUE(m.TryLock(1));
+  EXPECT_TRUE(m.IsHeld());
+  EXPECT_EQ(m.owner(), 1);
+  EXPECT_FALSE(m.TryLock(2));
+  m.Unlock(1);
+  EXPECT_FALSE(m.IsHeld());
+}
+
+TEST(SimMutexTest, FifoHandoffWakesNextWaiter) {
+  SimMutex m("m");
+  std::vector<ThreadId> woken;
+  m.SetWakeFn([&](ThreadId t) { woken.push_back(t); });
+  ASSERT_TRUE(m.TryLock(1));
+  ASSERT_FALSE(m.TryLock(2));
+  m.WaitFor(2);
+  ASSERT_FALSE(m.TryLock(3));
+  m.WaitFor(3);
+  EXPECT_EQ(m.waiter_count(), 2u);
+
+  m.Unlock(1);
+  EXPECT_EQ(m.owner(), 2);  // Direct handoff, FIFO order.
+  EXPECT_EQ(woken, (std::vector<ThreadId>{2}));
+  m.Unlock(2);
+  EXPECT_EQ(m.owner(), 3);
+  EXPECT_EQ(m.waiter_count(), 0u);
+}
+
+TEST(TtyPortTest, InputLatencyRecorded) {
+  TtyPort tty("console");
+  const TimePoint t0 = TimePoint::Origin() + Duration::Millis(100);
+  const TimePoint t1 = TimePoint::Origin() + Duration::Millis(130);
+  tty.PushInput(t0);
+  EXPECT_TRUE(tty.HasInput());
+  EXPECT_TRUE(tty.PopInput(t1));
+  ASSERT_EQ(tty.latencies().size(), 1u);
+  EXPECT_NEAR(tty.latencies()[0], 0.030, 1e-9);
+  EXPECT_FALSE(tty.PopInput(t1));
+}
+
+TEST(TtyPortTest, PushWakesWaiter) {
+  TtyPort tty("console");
+  std::vector<ThreadId> woken;
+  tty.SetWakeFn([&](ThreadId t) { woken.push_back(t); });
+  tty.WaitForInput(4);
+  tty.PushInput(TimePoint::Origin());
+  EXPECT_EQ(woken, (std::vector<ThreadId>{4}));
+  EXPECT_EQ(tty.total_events(), 1);
+}
+
+}  // namespace
+}  // namespace realrate

@@ -1,0 +1,177 @@
+// Baseline schedulers: Linux-2.x MLFQ, fixed real-time priorities, lottery.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "sched/fixed_priority.h"
+#include "sched/lottery.h"
+#include "sched/machine.h"
+#include "sched/mlfq.h"
+#include "sim/simulator.h"
+#include "task/registry.h"
+#include "util/stats.h"
+#include "workloads/misc_work.h"
+
+namespace realrate {
+namespace {
+
+struct BaselineRig {
+  Simulator sim;
+  ThreadRegistry threads;
+  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<Machine> machine;
+
+  explicit BaselineRig(std::unique_ptr<Scheduler> s) : scheduler(std::move(s)) {
+    machine = std::make_unique<Machine>(
+        sim, *scheduler, threads,
+        MachineConfig{.dispatch_interval = Duration::Millis(1), .charge_overheads = false});
+  }
+
+  SimThread* SpawnHog(const std::string& name, int priority, int64_t tickets = 100) {
+    SimThread* t = threads.Create(name, std::make_unique<CpuHogWork>());
+    t->set_priority(priority);
+    t->set_tickets(tickets);
+    machine->Attach(t);
+    return t;
+  }
+
+  double Share(SimThread* t, Duration elapsed) const {
+    return static_cast<double>(t->total_cycles()) /
+           static_cast<double>(sim.cpu().DurationToCycles(elapsed));
+  }
+};
+
+TEST(MlfqTest, EqualPrioritiesShareEqually) {
+  Simulator probe;  // Only for the Cpu reference.
+  BaselineRig rig(std::make_unique<MlfqScheduler>(probe.cpu(), Duration::Millis(10)));
+  SimThread* a = rig.SpawnHog("a", 20);
+  SimThread* b = rig.SpawnHog("b", 20);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Seconds(2));
+  EXPECT_NEAR(rig.Share(a, Duration::Seconds(2)), 0.5, 0.05);
+  EXPECT_NEAR(rig.Share(b, Duration::Seconds(2)), 0.5, 0.05);
+}
+
+TEST(MlfqTest, HigherPriorityGetsMoreButDoesNotStarve) {
+  Simulator probe;
+  BaselineRig rig(std::make_unique<MlfqScheduler>(probe.cpu(), Duration::Millis(10)));
+  SimThread* nice = rig.SpawnHog("nice", 10);
+  SimThread* keen = rig.SpawnHog("keen", 30);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Seconds(2));
+  const double nice_share = rig.Share(nice, Duration::Seconds(2));
+  const double keen_share = rig.Share(keen, Duration::Seconds(2));
+  EXPECT_GT(keen_share, nice_share);
+  EXPECT_GT(nice_share, 0.1);  // MLFQ decays CPU-bound jobs but never starves.
+}
+
+TEST(MlfqTest, CountersRecalculateWhenAllExhausted) {
+  Simulator probe;
+  auto mlfq = std::make_unique<MlfqScheduler>(probe.cpu(), Duration::Millis(10));
+  MlfqScheduler* raw = mlfq.get();
+  BaselineRig rig(std::move(mlfq));
+  rig.SpawnHog("a", 20);
+  rig.SpawnHog("b", 20);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  EXPECT_GT(raw->recalculations(), 0);
+}
+
+TEST(MlfqTest, GoodnessZeroAtZeroCounter) {
+  Simulator probe;
+  MlfqScheduler mlfq(probe.cpu(), Duration::Millis(10));
+  ThreadRegistry reg;
+  SimThread* t = reg.Create("t", std::make_unique<CpuHogWork>());
+  mlfq.AddThread(t);
+  EXPECT_GT(mlfq.Goodness(t), 0);
+  t->set_counter(0);
+  EXPECT_EQ(mlfq.Goodness(t), 0);
+}
+
+TEST(FixedPriorityTest, HighPriorityStarvesLow) {
+  BaselineRig rig(std::make_unique<FixedPriorityScheduler>());
+  SimThread* high = rig.SpawnHog("high", 10);
+  SimThread* low = rig.SpawnHog("low", 1);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  EXPECT_GT(rig.Share(high, Duration::Seconds(1)), 0.99);
+  EXPECT_EQ(low->total_cycles(), 0);  // Complete starvation.
+}
+
+TEST(FixedPriorityTest, EqualPrioritiesRoundRobin) {
+  BaselineRig rig(std::make_unique<FixedPriorityScheduler>());
+  SimThread* a = rig.SpawnHog("a", 5);
+  SimThread* b = rig.SpawnHog("b", 5);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  EXPECT_NEAR(rig.Share(a, Duration::Seconds(1)), 0.5, 0.05);
+  EXPECT_NEAR(rig.Share(b, Duration::Seconds(1)), 0.5, 0.05);
+}
+
+TEST(FixedPriorityTest, LowRunsWhenHighBlocks) {
+  BaselineRig rig(std::make_unique<FixedPriorityScheduler>());
+  SimThread* high = rig.threads.Create("high", std::make_unique<IdleWork>());
+  high->set_priority(10);
+  rig.machine->Attach(high);
+  SimThread* low = rig.SpawnHog("low", 1);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  EXPECT_GT(rig.Share(low, Duration::Seconds(1)), 0.99);
+}
+
+TEST(LotteryTest, SharesTrackTicketRatios) {
+  BaselineRig rig(std::make_unique<LotteryScheduler>(/*seed=*/77));
+  SimThread* rich = rig.SpawnHog("rich", 0, /*tickets=*/300);
+  SimThread* poor = rig.SpawnHog("poor", 0, /*tickets=*/100);
+  rig.machine->Start();
+  rig.sim.RunFor(Duration::Seconds(5));
+  EXPECT_NEAR(rig.Share(rich, Duration::Seconds(5)), 0.75, 0.05);
+  EXPECT_NEAR(rig.Share(poor, Duration::Seconds(5)), 0.25, 0.05);
+}
+
+TEST(LotteryTest, DeterministicPerSeed) {
+  auto run = [](uint64_t seed) {
+    BaselineRig rig(std::make_unique<LotteryScheduler>(seed));
+    SimThread* a = rig.SpawnHog("a", 0, 100);
+    rig.SpawnHog("b", 0, 100);
+    rig.machine->Start();
+    rig.sim.RunFor(Duration::Seconds(1));
+    return a->total_cycles();
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(LotteryTest, HigherVarianceThanReservation) {
+  // One of the paper's claimed benefits: reservations give lower allocation variance
+  // than probabilistic proportional share. Compare per-100ms shares of a 50% thread.
+  auto window_shares = [](bool lottery) {
+    std::vector<double> shares;
+    Simulator probe;
+    std::unique_ptr<Scheduler> sched;
+    if (lottery) {
+      sched = std::make_unique<LotteryScheduler>(7);
+    } else {
+      sched = std::make_unique<MlfqScheduler>(probe.cpu(), Duration::Millis(10));
+    }
+    BaselineRig rig(std::move(sched));
+    SimThread* a = rig.SpawnHog("a", 20, 100);
+    rig.SpawnHog("b", 20, 100);
+    rig.machine->Start();
+    Cycles last = 0;
+    for (int i = 0; i < 50; ++i) {
+      rig.sim.RunFor(Duration::Millis(100));
+      shares.push_back(static_cast<double>(a->total_cycles() - last) / 40e6);
+      last = a->total_cycles();
+    }
+    RunningStats s;
+    for (double x : shares) {
+      s.Add(x);
+    }
+    return s.stddev();
+  };
+  EXPECT_GT(window_shares(/*lottery=*/true), window_shares(/*lottery=*/false));
+}
+
+}  // namespace
+}  // namespace realrate

@@ -1,0 +1,101 @@
+// Remaining utility surfaces: logging, trace formatting, and RBS work-conserving
+// parameter sweeps.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sched/machine.h"
+#include "sched/rbs.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "task/registry.h"
+#include "util/log.h"
+#include "workloads/misc_work.h"
+
+namespace realrate {
+namespace {
+
+TEST(LogTest, LevelGatesOutput) {
+  SetLogLevel(LogLevel::kNone);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kNone);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_GE(GetLogLevel(), LogLevel::kInfo);
+  RR_LOG_DEBUG("debug message %d", 42);  // Must not crash.
+  SetLogLevel(LogLevel::kNone);
+}
+
+TEST(TraceTest, ToStringFormatsEvents) {
+  TraceRecorder trace;
+  trace.SetEnabled(true);
+  trace.Record(TimePoint::Origin() + Duration::Millis(5), TraceKind::kDispatch, 3, 1000, 0);
+  trace.Record(TimePoint::Origin() + Duration::Millis(6), TraceKind::kBlock, 3, 7, 0);
+  const std::string text = trace.ToString();
+  EXPECT_NE(text.find("dispatch"), std::string::npos);
+  EXPECT_NE(text.find("block"), std::string::npos);
+  EXPECT_NE(text.find("thread=3"), std::string::npos);
+}
+
+TEST(TraceTest, ToStringTruncatesAtLimit) {
+  TraceRecorder trace;
+  trace.SetEnabled(true);
+  for (int i = 0; i < 20; ++i) {
+    trace.Record(TimePoint::Origin(), TraceKind::kDispatch, 0);
+  }
+  const std::string text = trace.ToString(/*max_events=*/5);
+  EXPECT_NE(text.find("..."), std::string::npos);
+}
+
+TEST(TraceTest, AllKindsHaveNames) {
+  for (TraceKind kind :
+       {TraceKind::kDispatch, TraceKind::kBlock, TraceKind::kWake,
+        TraceKind::kBudgetExhausted, TraceKind::kDeadlineMiss, TraceKind::kAllocationSet,
+        TraceKind::kQualityException, TraceKind::kAdmitted, TraceKind::kRejected,
+        TraceKind::kExit}) {
+    EXPECT_STRNE(ToString(kind), "?");
+  }
+}
+
+TEST(TraceTest, ClearEmptiesAndResetsHash) {
+  TraceRecorder trace;
+  trace.SetEnabled(true);
+  trace.Record(TimePoint::Origin(), TraceKind::kDispatch, 0);
+  const uint64_t with_events = trace.Hash();
+  trace.Clear();
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_NE(trace.Hash(), with_events);
+}
+
+// Work-conserving sweep: with the flag on, any single reservation can consume the
+// whole machine; off, it is capped at its proportion.
+class WorkConservingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkConservingTest, CapHoldsExactlyWhenNotWorkConserving) {
+  const int ppt = GetParam();
+  for (bool conserving : {false, true}) {
+    Simulator sim;
+    ThreadRegistry threads;
+    RbsScheduler rbs(sim.cpu(), RbsConfig{.work_conserving = conserving});
+    Machine machine(sim, rbs, threads,
+                    MachineConfig{.dispatch_interval = Duration::Millis(1),
+                                  .charge_overheads = false});
+    SimThread* hog = threads.Create("hog", std::make_unique<CpuHogWork>());
+    machine.Attach(hog);
+    rbs.SetReservation(hog, Proportion::Ppt(ppt), Duration::Millis(10), sim.Now());
+    machine.Start();
+    sim.RunFor(Duration::Seconds(1));
+    const double share = static_cast<double>(hog->total_cycles()) /
+                         static_cast<double>(sim.cpu().DurationToCycles(Duration::Seconds(1)));
+    if (conserving) {
+      EXPECT_GT(share, 0.95) << "work-conserving should hand out idle capacity";
+    } else {
+      EXPECT_NEAR(share, ppt / 1000.0, 0.01) << "cap must hold at " << ppt << " ppt";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Proportions, WorkConservingTest,
+                         ::testing::Values(100, 300, 500, 700));
+
+}  // namespace
+}  // namespace realrate

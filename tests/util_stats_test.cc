@@ -1,0 +1,210 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/ring_buffer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace realrate {
+namespace {
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // Known population variance of this set.
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-5, 5);
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.Add(3.0);
+  a.Merge(b);  // Empty.Merge(nonempty).
+  EXPECT_EQ(a.count(), 1);
+  RunningStats c;
+  a.Merge(c);  // nonempty.Merge(empty).
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(SampleSetTest, PercentilesInterpolate) {
+  SampleSet s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 17.5);
+  EXPECT_DOUBLE_EQ(s.Mean(), 25.0);
+}
+
+TEST(SampleSetTest, SingleSample) {
+  SampleSet s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 42.0);
+}
+
+TEST(FitLineTest, ExactLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 40; i += 5) {
+    xs.push_back(i);
+    ys.push_back(0.00066 * i + 0.00057);  // The paper's Fig. 5 fit.
+  }
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.00066, 1e-12);
+  EXPECT_NEAR(fit.intercept, 0.00057, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, NoisyLineHasHighButImperfectR2) {
+  Rng rng(7);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 1.0 + rng.NextNormal(0, 3.0));
+  }
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+TEST(FitLineTest, ConstantYIsPerfectFlatFit) {
+  const LinearFit fit = FitLine({1, 2, 3}, {5, 5, 5});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+  EXPECT_DOUBLE_EQ(fit.r_squared, 1.0);
+}
+
+TEST(RingBufferTest, EvictsOldest) {
+  RingBuffer<int> rb(3);
+  rb.Push(1);
+  rb.Push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_FALSE(rb.full());
+  rb.Push(3);
+  rb.Push(4);  // Evicts 1.
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.Front(), 2);
+  EXPECT_EQ(rb.Back(), 4);
+  EXPECT_EQ(rb[0], 2);
+  EXPECT_EQ(rb[1], 3);
+  EXPECT_EQ(rb[2], 4);
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.Push(1);
+  rb.Push(2);
+  rb.Clear();
+  EXPECT_TRUE(rb.empty());
+  rb.Push(9);
+  EXPECT_EQ(rb.Front(), 9);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(8);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) {
+    s.Add(rng.NextExponential(3.0));
+  }
+  EXPECT_NEAR(s.mean(), 3.0, 0.05);
+  EXPECT_GE(s.min(), 0.0);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) {
+    s.Add(rng.NextNormal(10.0, 2.0));
+  }
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    hits += rng.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 100'000.0, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace realrate

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "util/time.h"
+#include "util/types.h"
+
+namespace realrate {
+namespace {
+
+TEST(DurationTest, FactoriesAgree) {
+  EXPECT_EQ(Duration::Millis(1), Duration::Micros(1000));
+  EXPECT_EQ(Duration::Seconds(1), Duration::Millis(1000));
+  EXPECT_EQ(Duration::Micros(1), Duration::Nanos(1000));
+}
+
+TEST(DurationTest, Arithmetic) {
+  const Duration a = Duration::Millis(30);
+  const Duration b = Duration::Millis(10);
+  EXPECT_EQ((a + b).millis(), 40);
+  EXPECT_EQ((a - b).millis(), 20);
+  EXPECT_EQ((a * 3).millis(), 90);
+  EXPECT_EQ((a / 3).millis(), 10);
+  EXPECT_EQ(a / b, 3);
+  EXPECT_EQ((-a).millis(), -30);
+}
+
+TEST(DurationTest, CompoundAssignment) {
+  Duration d = Duration::Millis(5);
+  d += Duration::Millis(5);
+  EXPECT_EQ(d.millis(), 10);
+  d -= Duration::Millis(3);
+  EXPECT_EQ(d.millis(), 7);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_GT(Duration::Seconds(1), Duration::Millis(999));
+  EXPECT_LE(Duration::Zero(), Duration::Zero());
+}
+
+TEST(DurationTest, FloatingConversions) {
+  EXPECT_DOUBLE_EQ(Duration::Millis(1500).ToSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::Micros(2500).ToMillis(), 2.5);
+  EXPECT_EQ(Duration::FromSeconds(0.25).millis(), 250);
+}
+
+TEST(DurationTest, Predicates) {
+  EXPECT_TRUE(Duration::Zero().IsZero());
+  EXPECT_FALSE(Duration::Zero().IsPositive());
+  EXPECT_TRUE(Duration::Nanos(1).IsPositive());
+  EXPECT_FALSE(Duration::Nanos(-1).IsPositive());
+}
+
+TEST(TimePointTest, ArithmeticWithDurations) {
+  const TimePoint t = TimePoint::Origin() + Duration::Millis(100);
+  EXPECT_EQ(t.nanos(), 100'000'000);
+  EXPECT_EQ((t - Duration::Millis(40)).nanos(), 60'000'000);
+  EXPECT_EQ((t - TimePoint::Origin()).millis(), 100);
+}
+
+TEST(TimePointTest, AlignDown) {
+  const Duration period = Duration::Millis(30);
+  EXPECT_EQ(AlignDown(TimePoint::FromNanos(0), period).nanos(), 0);
+  EXPECT_EQ(AlignDown(TimePoint::Origin() + Duration::Millis(29), period).nanos(), 0);
+  EXPECT_EQ(AlignDown(TimePoint::Origin() + Duration::Millis(30), period),
+            TimePoint::Origin() + Duration::Millis(30));
+  EXPECT_EQ(AlignDown(TimePoint::Origin() + Duration::Millis(95), period),
+            TimePoint::Origin() + Duration::Millis(90));
+}
+
+TEST(TimePointTest, ToStringFormats) {
+  EXPECT_EQ(ToString(Duration::Millis(5)), "5ms");
+  EXPECT_EQ(ToString(Duration::Micros(250)), "250us");
+  EXPECT_EQ(ToString(Duration::Nanos(17)), "17ns");
+}
+
+TEST(ProportionTest, PptAndFractionRoundTrip) {
+  EXPECT_EQ(Proportion::FromFraction(0.05).ppt(), 50);
+  EXPECT_DOUBLE_EQ(Proportion::Ppt(250).ToFraction(), 0.25);
+  EXPECT_EQ(Proportion::Full().ppt(), 1000);
+  EXPECT_TRUE(Proportion::Zero().IsZero());
+}
+
+TEST(ProportionTest, ArithmeticAndOrdering) {
+  const Proportion a = Proportion::Ppt(300);
+  const Proportion b = Proportion::Ppt(200);
+  EXPECT_EQ((a + b).ppt(), 500);
+  EXPECT_EQ((a - b).ppt(), 100);
+  EXPECT_LT(b, a);
+}
+
+TEST(ProportionTest, FromFractionRounds) {
+  EXPECT_EQ(Proportion::FromFraction(0.0004).ppt(), 0);
+  EXPECT_EQ(Proportion::FromFraction(0.0006).ppt(), 1);
+}
+
+TEST(QueueRoleTest, SignsMatchPaperFigure3) {
+  // R = -1 for producers, +1 for consumers.
+  EXPECT_EQ(RoleSign(QueueRole::kProducer), -1);
+  EXPECT_EQ(RoleSign(QueueRole::kConsumer), 1);
+}
+
+}  // namespace
+}  // namespace realrate

@@ -1,0 +1,328 @@
+// Work models: producers, consumers, pipeline stages, hogs, interactive jobs, lock
+// workers, arrival/typing processes, rate schedules.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "queue/bounded_buffer.h"
+#include "queue/registry.h"
+#include "sched/machine.h"
+#include "sched/rbs.h"
+#include "sim/simulator.h"
+#include "task/registry.h"
+#include "workloads/misc_work.h"
+#include "workloads/producer_consumer.h"
+#include "workloads/rate_schedule.h"
+#include "workloads/server.h"
+
+namespace realrate {
+namespace {
+
+TEST(RateScheduleTest, ConstantBase) {
+  RateSchedule s(100.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(TimePoint::Origin()), 100.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(TimePoint::Origin() + Duration::Seconds(100)), 100.0);
+}
+
+TEST(RateScheduleTest, SegmentsOverrideWindow) {
+  RateSchedule s(100.0);
+  s.AddSegment(TimePoint::Origin() + Duration::Seconds(5), Duration::Seconds(2), 200.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(TimePoint::Origin() + Duration::Seconds(4)), 100.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(TimePoint::Origin() + Duration::Seconds(5)), 200.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(TimePoint::Origin() + Duration::Millis(6'999)), 200.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(TimePoint::Origin() + Duration::Seconds(7)), 100.0);
+}
+
+TEST(RateScheduleTest, LaterSegmentsWin) {
+  RateSchedule s(1.0);
+  s.AddSegment(TimePoint::Origin(), Duration::Seconds(10), 2.0);
+  s.AddSegment(TimePoint::Origin() + Duration::Seconds(5), Duration::Seconds(1), 3.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(TimePoint::Origin() + Duration::Seconds(5)), 3.0);
+  EXPECT_DOUBLE_EQ(s.ValueAt(TimePoint::Origin() + Duration::Seconds(7)), 2.0);
+}
+
+TEST(RateScheduleTest, PaperPulsesShape) {
+  const TimePoint start = TimePoint::Origin() + Duration::Seconds(5);
+  RateSchedule s = RateSchedule::PaperPulses(
+      100.0, 200.0, start, {Duration::Seconds(4), Duration::Seconds(2), Duration::Seconds(1)},
+      Duration::Seconds(3), {Duration::Seconds(4), Duration::Seconds(2), Duration::Seconds(1)});
+  auto at = [](double sec) { return TimePoint::Origin() + Duration::FromSeconds(sec); };
+  EXPECT_DOUBLE_EQ(s.ValueAt(at(1)), 100.0);     // Before the program.
+  EXPECT_DOUBLE_EQ(s.ValueAt(at(6)), 200.0);     // First rising pulse (5..9).
+  EXPECT_DOUBLE_EQ(s.ValueAt(at(10)), 100.0);    // Gap (9..12).
+  EXPECT_DOUBLE_EQ(s.ValueAt(at(13)), 200.0);    // Second pulse (12..14).
+  EXPECT_DOUBLE_EQ(s.ValueAt(at(17.5)), 200.0);  // Third pulse (17..18).
+  EXPECT_DOUBLE_EQ(s.ValueAt(at(20)), 200.0);    // Plateau: rate stays high.
+  EXPECT_DOUBLE_EQ(s.ValueAt(at(22)), 100.0);    // First falling pulse (21..25).
+  EXPECT_DOUBLE_EQ(s.ValueAt(at(26)), 200.0);    // Back at plateau.
+}
+
+struct WorkRig {
+  Simulator sim;
+  ThreadRegistry threads;
+  RbsScheduler rbs{sim.cpu()};
+  QueueRegistry queues;
+  Machine machine{sim, rbs, threads,
+                  MachineConfig{.dispatch_interval = Duration::Millis(1),
+                                .charge_overheads = false}};
+};
+
+TEST(ProducerWorkTest, ProducesAtConfiguredRate) {
+  WorkRig rig;
+  BoundedBuffer* q = rig.queues.CreateQueue("q", 1'000'000);
+  rig.machine.Attach(q);
+  SimThread* p = rig.threads.Create(
+      "p", std::make_unique<ProducerWork>(q, /*cycles_per_item=*/400'000, RateSchedule(100.0)));
+  rig.machine.Attach(p);
+  rig.rbs.SetReservation(p, Proportion::Ppt(50), Duration::Millis(10), rig.sim.Now());
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Seconds(2));
+  // 5% of 400 MHz = 20 Mcyc/s / 400k = 50 items/s -> 100 items, 10,000 bytes.
+  const auto& work = static_cast<const ProducerWork&>(p->work());
+  EXPECT_NEAR(work.items_produced(), 100, 3);
+  EXPECT_NEAR(q->total_pushed(), 10'000, 300);
+  EXPECT_EQ(p->progress_units(), q->total_pushed());
+}
+
+TEST(ProducerWorkTest, BlocksWhenQueueFullAndResumesCleanly) {
+  WorkRig rig;
+  rig.sim.trace().SetEnabled(true);
+  BoundedBuffer* q = rig.queues.CreateQueue("q", 300);
+  rig.machine.Attach(q);
+  SimThread* p = rig.threads.Create(
+      "p", std::make_unique<ProducerWork>(q, 10'000, RateSchedule(100.0)));
+  rig.machine.Attach(p);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Millis(50));
+  EXPECT_EQ(p->state(), ThreadState::kBlocked);
+  EXPECT_EQ(q->fill(), 300);
+  // Drain one item's worth; the producer resumes and pushes exactly one more item (the
+  // one already built before blocking) without re-spending its cycles.
+  const Cycles cycles_before = p->total_cycles();
+  q->TryPop(100);
+  rig.sim.RunFor(Duration::Millis(2));
+  EXPECT_EQ(q->fill(), 300);
+  EXPECT_GE(p->total_cycles(), cycles_before);  // It ran again...
+  const auto& work = static_cast<const ProducerWork&>(p->work());
+  EXPECT_EQ(work.items_produced(), 3 + 1);  // 3 before blocking + the pending one...
+}
+
+TEST(ConsumerWorkTest, ConsumesAtCyclesPerByte) {
+  WorkRig rig;
+  BoundedBuffer* q = rig.queues.CreateQueue("q", 1'000'000);
+  rig.machine.Attach(q);
+  q->TryPush(500'000);
+  SimThread* c = rig.threads.Create("c", std::make_unique<ConsumerWork>(q, 1'000));
+  rig.machine.Attach(c);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  // Unreserved thread gets the whole CPU: 400 Mcyc / 1000 cyc/B = 400,000 bytes.
+  const auto& work = static_cast<const ConsumerWork&>(c->work());
+  EXPECT_NEAR(work.bytes_consumed(), 400'000, 2'000);
+}
+
+TEST(PipelineStageWorkTest, ConservesBytesEndToEnd) {
+  WorkRig rig;
+  BoundedBuffer* in = rig.queues.CreateQueue("in", 10'000);
+  BoundedBuffer* out = rig.queues.CreateQueue("out", 1'000'000);
+  rig.machine.Attach(in);
+  rig.machine.Attach(out);
+  in->TryPush(5'000);
+  SimThread* stage = rig.threads.Create(
+      "stage", std::make_unique<PipelineStageWork>(in, out, /*cycles_per_byte=*/100,
+                                                   /*amplification=*/1.0, /*chunk=*/500));
+  rig.machine.Attach(stage);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(out->total_pushed(), 5'000);
+  EXPECT_EQ(stage->state(), ThreadState::kBlocked);  // Waiting for more input.
+}
+
+TEST(PipelineStageWorkTest, AmplificationScalesOutput) {
+  WorkRig rig;
+  BoundedBuffer* in = rig.queues.CreateQueue("in", 10'000);
+  BoundedBuffer* out = rig.queues.CreateQueue("out", 1'000'000);
+  rig.machine.Attach(in);
+  rig.machine.Attach(out);
+  in->TryPush(1'000);
+  SimThread* stage = rig.threads.Create(
+      "stage", std::make_unique<PipelineStageWork>(in, out, 100, /*amplification=*/3.0,
+                                                   /*chunk=*/500));
+  rig.machine.Attach(stage);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Millis(100));
+  EXPECT_EQ(out->total_pushed(), 3'000);
+}
+
+TEST(PipelineStageWorkTest, BlocksOnFullOutput) {
+  WorkRig rig;
+  BoundedBuffer* in = rig.queues.CreateQueue("in", 10'000);
+  BoundedBuffer* out = rig.queues.CreateQueue("out", 400);
+  rig.machine.Attach(in);
+  rig.machine.Attach(out);
+  in->TryPush(5'000);
+  SimThread* stage = rig.threads.Create(
+      "stage",
+      std::make_unique<PipelineStageWork>(in, out, 100, 1.0, /*chunk=*/400));
+  rig.machine.Attach(stage);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Millis(100));
+  EXPECT_EQ(stage->state(), ThreadState::kBlocked);
+  EXPECT_EQ(out->fill(), 400);
+}
+
+TEST(CpuHogWorkTest, CountsKeysAttempted) {
+  WorkRig rig;
+  SimThread* hog = rig.threads.Create("hog", std::make_unique<CpuHogWork>(1'000));
+  rig.machine.Attach(hog);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Millis(10));
+  // 4 Mcyc / 1000 cyc per key.
+  EXPECT_EQ(hog->progress_units(), 4'000);
+}
+
+TEST(InteractiveWorkTest, ServicesKeystrokesAndBlocksBetween) {
+  WorkRig rig;
+  TtyPort tty("console");
+  rig.machine.Attach(&tty);
+  SimThread* job =
+      rig.threads.Create("editor", std::make_unique<InteractiveWork>(&tty, 100'000));
+  rig.machine.Attach(job);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Millis(5));
+  EXPECT_EQ(job->state(), ThreadState::kBlocked);
+  tty.PushInput(rig.sim.Now());
+  rig.sim.RunFor(Duration::Millis(5));
+  const auto& work = static_cast<const InteractiveWork&>(job->work());
+  EXPECT_EQ(work.events_serviced(), 1);
+  EXPECT_EQ(job->state(), ThreadState::kBlocked);
+  ASSERT_EQ(tty.latencies().size(), 1u);
+  EXPECT_LT(tty.latencies()[0], 0.002);  // Serviced within two ticks.
+}
+
+TEST(LockWorkTest, AlternatesWithoutContention) {
+  WorkRig rig;
+  SimMutex mutex("m");
+  rig.machine.Attach(&mutex);
+  SimThread* t = rig.threads.Create(
+      "t", std::make_unique<LockWork>(&mutex, /*hold=*/400'000, Duration::Millis(4)));
+  rig.machine.Attach(t);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Millis(100));
+  const auto& work = static_cast<const LockWork&>(t->work());
+  // Each round = 1 ms hold + 4 ms sleep (rounded to tick) => ~16-20 rounds in 100 ms.
+  EXPECT_GE(work.acquisitions(), 14);
+  EXPECT_DOUBLE_EQ(work.MaxWaitSeconds(), 0.0);
+  EXPECT_FALSE(mutex.IsHeld());
+}
+
+TEST(LockWorkTest, ContendersHandOffFifo) {
+  WorkRig rig;
+  SimMutex mutex("m");
+  rig.machine.Attach(&mutex);
+  SimThread* a = rig.threads.Create(
+      "a", std::make_unique<LockWork>(&mutex, 400'000, Duration::Millis(1)));
+  SimThread* b = rig.threads.Create(
+      "b", std::make_unique<LockWork>(&mutex, 400'000, Duration::Millis(1)));
+  rig.machine.Attach(a);
+  rig.machine.Attach(b);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  const auto& wa = static_cast<const LockWork&>(a->work());
+  const auto& wb = static_cast<const LockWork&>(b->work());
+  EXPECT_GT(wa.acquisitions(), 50);
+  EXPECT_GT(wb.acquisitions(), 50);
+  // Nobody waits pathologically long when both run freely.
+  EXPECT_LT(wa.MaxWaitSeconds(), 0.05);
+  EXPECT_LT(wb.MaxWaitSeconds(), 0.05);
+}
+
+TEST(RequestServerWorkTest, ServesBufferedRequests) {
+  WorkRig rig;
+  BoundedBuffer* sock = rig.queues.CreateQueue("sock", 100'000);
+  rig.machine.Attach(sock);
+  sock->TryPush(512 * 10);  // Ten requests.
+  SimThread* server = rig.threads.Create(
+      "server", std::make_unique<RequestServerWork>(sock, 512, /*cycles=*/1'000'000));
+  rig.machine.Attach(server);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Millis(100));
+  const auto& work = static_cast<const RequestServerWork&>(server->work());
+  EXPECT_EQ(work.requests_served(), 10);
+  EXPECT_EQ(server->state(), ThreadState::kBlocked);
+}
+
+TEST(ArrivalProcessTest, DeterministicSpacingDeliversExpectedBytes) {
+  WorkRig rig;
+  BoundedBuffer* q = rig.queues.CreateQueue("rx", 1'000'000);
+  rig.machine.Attach(q);
+  ArrivalProcess::Config config;
+  config.poisson = false;
+  config.mean_interarrival = Duration::Millis(10);
+  config.bytes_per_arrival = 100;
+  ArrivalProcess arrivals(rig.sim, q, config);
+  arrivals.Start();
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(arrivals.arrivals(), 100);
+  EXPECT_EQ(q->total_pushed(), 10'000);
+  EXPECT_EQ(arrivals.dropped_bytes(), 0);
+}
+
+TEST(ArrivalProcessTest, DropsWhenRingOverflows) {
+  WorkRig rig;
+  BoundedBuffer* q = rig.queues.CreateQueue("rx", 250);
+  rig.machine.Attach(q);
+  ArrivalProcess::Config config;
+  config.poisson = false;
+  config.mean_interarrival = Duration::Millis(1);
+  config.bytes_per_arrival = 100;
+  ArrivalProcess arrivals(rig.sim, q, config);
+  arrivals.Start();
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Millis(100));
+  EXPECT_EQ(q->fill(), 200);  // Two arrivals fit.
+  EXPECT_GT(arrivals.dropped_bytes(), 0);
+}
+
+TEST(ArrivalProcessTest, PoissonMeanRateApproximatelyCorrect) {
+  WorkRig rig;
+  BoundedBuffer* q = rig.queues.CreateQueue("rx", 100'000'000);
+  rig.machine.Attach(q);
+  ArrivalProcess::Config config;
+  config.poisson = true;
+  config.mean_interarrival = Duration::Millis(2);
+  config.seed = 11;
+  ArrivalProcess arrivals(rig.sim, q, config);
+  arrivals.Start();
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Seconds(20));
+  EXPECT_NEAR(arrivals.arrivals(), 10'000, 300);
+}
+
+TEST(TypingProcessTest, GeneratesKeystrokes) {
+  WorkRig rig;
+  TtyPort tty("console");
+  rig.machine.Attach(&tty);
+  TypingProcess::Config config;
+  config.mean_think = Duration::Millis(100);
+  TypingProcess typist(rig.sim, &tty, config);
+  typist.Start();
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Seconds(10));
+  EXPECT_NEAR(typist.keystrokes(), 100, 30);
+  EXPECT_EQ(tty.total_events(), typist.keystrokes());
+}
+
+TEST(IdleWorkTest, SleepsForeverConsumingNothing) {
+  WorkRig rig;
+  SimThread* idle = rig.threads.Create("idle", std::make_unique<IdleWork>());
+  rig.machine.Attach(idle);
+  rig.machine.Start();
+  rig.sim.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(idle->total_cycles(), 0);
+  EXPECT_EQ(idle->state(), ThreadState::kSleeping);
+}
+
+}  // namespace
+}  // namespace realrate
