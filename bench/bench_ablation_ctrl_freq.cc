@@ -4,7 +4,7 @@
 // pipeline and reports responsiveness against controller overhead.
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "exp/scenarios.h"
 #include "exp/system.h"
 #include "workloads/misc_work.h"

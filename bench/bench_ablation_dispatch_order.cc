@@ -8,7 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "sched/machine.h"
 #include "sched/rbs.h"
 #include "sim/simulator.h"

@@ -8,7 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "exp/sampler.h"
 #include "exp/system.h"
 #include "util/stats.h"

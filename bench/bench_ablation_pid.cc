@@ -4,7 +4,7 @@
 // fill deviation, and allocation jitter.
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "exp/scenarios.h"
 
 namespace realrate {

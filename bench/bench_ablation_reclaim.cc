@@ -6,7 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "exp/sampler.h"
 #include "exp/system.h"
 #include "workloads/misc_work.h"

@@ -3,7 +3,7 @@
 // allocation ... a more-important job cannot starve a less important job."
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "core/overload.h"
 #include "exp/scenarios.h"
 

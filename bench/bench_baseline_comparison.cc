@@ -6,7 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "exp/scenarios.h"
 #include "exp/system.h"
 #include "sched/fixed_priority.h"

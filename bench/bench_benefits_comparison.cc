@@ -4,7 +4,7 @@
 // Linux-style MLFQ, and lottery scheduling.
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "exp/scenarios.h"
 
 namespace realrate {

@@ -11,7 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "exp/scenarios.h"
 #include "exp/system.h"
 #include "util/stats.h"

@@ -5,7 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "bench_util.h"
 #include "exp/scenarios.h"
 
 namespace realrate {

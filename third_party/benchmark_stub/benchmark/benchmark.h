@@ -1,0 +1,222 @@
+// Header-only fallback for <benchmark/benchmark.h>, used only when the real
+// Google Benchmark package is not installed (see the root CMakeLists.txt).
+// It implements just the API surface the bench/ programs use — State with
+// range() and counters, BENCHMARK()->Arg()->Unit(), DoNotOptimize,
+// Initialize, RunSpecifiedBenchmarks — and honours --benchmark_out=FILE with
+// --benchmark_out_format=json so scripts/run_benches.sh keeps working.
+// Timings are crude (fixed iteration count, one repetition); they keep the
+// figure reproductions runnable offline, not publication-grade.
+#ifndef REALRATE_THIRD_PARTY_BENCHMARK_STUB_H_
+#define REALRATE_THIRD_PARTY_BENCHMARK_STUB_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+class State;
+using BenchFn = std::function<void(State&)>;
+
+namespace internal {
+
+struct Registration {
+  std::string name;
+  BenchFn fn;
+  std::vector<int64_t> args;  // empty → one run with no arg
+  TimeUnit unit = kNanosecond;
+
+  Registration* Arg(int64_t a) {
+    args.push_back(a);
+    return this;
+  }
+  Registration* Unit(TimeUnit u) {
+    unit = u;
+    return this;
+  }
+};
+
+inline std::vector<Registration*>& Registry() {
+  static std::vector<Registration*> registry;
+  return registry;
+}
+
+inline Registration* Register(const char* name, BenchFn fn) {
+  auto* reg = new Registration{name, std::move(fn), {}, kNanosecond};
+  Registry().push_back(reg);
+  return reg;
+}
+
+inline std::string& OutPath() {
+  static std::string path;
+  return path;
+}
+
+}  // namespace internal
+
+class State {
+ public:
+  explicit State(int64_t arg, int64_t iterations)
+      : arg_(arg), remaining_(iterations), iterations_(iterations) {}
+
+  // The loop variable in `for (auto _ : state)` is deliberately unused; a
+  // user-declared destructor keeps -Wunused-variable quiet about it.
+  struct IterationToken {
+    ~IterationToken() {}
+  };
+
+  struct Iterator {
+    State* state;
+    bool operator!=(const Iterator& other) const {
+      return state != other.state;
+    }
+    void operator++() {
+      if (--state->remaining_ <= 0) {
+        state->Stop();
+        state = nullptr;
+      }
+    }
+    IterationToken operator*() const { return IterationToken{}; }
+  };
+
+  Iterator begin() {
+    start_ = std::chrono::steady_clock::now();
+    return Iterator{remaining_ > 0 ? this : nullptr};
+  }
+  Iterator end() { return Iterator{nullptr}; }
+
+  int64_t range(int /*index*/ = 0) const { return arg_; }
+  int64_t iterations() const { return iterations_; }
+  double elapsed_seconds() const { return elapsed_; }
+
+  std::map<std::string, double> counters;
+
+ private:
+  void Stop() {
+    elapsed_ = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start_)
+                   .count();
+  }
+
+  int64_t arg_;
+  int64_t remaining_;
+  int64_t iterations_;
+  std::chrono::steady_clock::time_point start_{};
+  double elapsed_ = 0.0;
+};
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+inline void Initialize(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--benchmark_out=", 16) == 0) {
+      internal::OutPath() = arg + 16;
+    } else if (std::strncmp(arg, "--benchmark_", 12) == 0) {
+      // Recognised-and-ignored benchmark flag (format, filter, ...).
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+}
+
+inline double ToUnit(double seconds, TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return seconds * 1e9;
+    case kMicrosecond: return seconds * 1e6;
+    case kMillisecond: return seconds * 1e3;
+    case kSecond: return seconds;
+  }
+  return seconds;
+}
+
+inline const char* UnitName(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return "ns";
+    case kMicrosecond: return "us";
+    case kMillisecond: return "ms";
+    case kSecond: return "s";
+  }
+  return "ns";
+}
+
+inline int RunSpecifiedBenchmarks() {
+  struct Result {
+    std::string name;
+    int64_t iterations;
+    double time;
+    TimeUnit unit;
+    std::map<std::string, double> counters;
+  };
+  std::vector<Result> results;
+
+  for (internal::Registration* reg : internal::Registry()) {
+    std::vector<int64_t> args = reg->args.empty()
+                                    ? std::vector<int64_t>{0}
+                                    : reg->args;
+    for (size_t i = 0; i < args.size(); ++i) {
+      const int64_t iterations = 8;
+      State state(args[i], iterations);
+      reg->fn(state);
+      std::string name = reg->name;
+      if (!reg->args.empty()) {
+        name += "/" + std::to_string(args[i]);
+      }
+      const double per_iter =
+          ToUnit(state.elapsed_seconds() / static_cast<double>(iterations),
+                 reg->unit);
+      std::printf("%-48s %12.3f %s %10lld iterations [stub]\n", name.c_str(),
+                  per_iter, UnitName(reg->unit),
+                  static_cast<long long>(iterations));
+      results.push_back(
+          {std::move(name), iterations, per_iter, reg->unit, state.counters});
+    }
+  }
+
+  if (!internal::OutPath().empty()) {
+    std::FILE* out = std::fopen(internal::OutPath().c_str(), "w");
+    if (out != nullptr) {
+      std::fprintf(out, "{\n  \"context\": {\"library\": \"benchmark_stub\"},\n");
+      std::fprintf(out, "  \"benchmarks\": [\n");
+      for (size_t i = 0; i < results.size(); ++i) {
+        const Result& r = results[i];
+        std::fprintf(out,
+                     "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+                     "\"iterations\": %lld, \"real_time\": %.6f, "
+                     "\"cpu_time\": %.6f, \"time_unit\": \"%s\"",
+                     r.name.c_str(), static_cast<long long>(r.iterations),
+                     r.time, r.time, UnitName(r.unit));
+        for (const auto& [key, value] : r.counters) {
+          std::fprintf(out, ", \"%s\": %.6f", key.c_str(), value);
+        }
+        std::fprintf(out, "}%s\n", i + 1 < results.size() ? "," : "");
+      }
+      std::fprintf(out, "  ]\n}\n");
+      std::fclose(out);
+    }
+  }
+  return static_cast<int>(results.size());
+}
+
+}  // namespace benchmark
+
+#define BENCHMARK_STUB_CONCAT2(a, b) a##b
+#define BENCHMARK_STUB_CONCAT(a, b) BENCHMARK_STUB_CONCAT2(a, b)
+#define BENCHMARK(fn)                                             \
+  static ::benchmark::internal::Registration*                     \
+      BENCHMARK_STUB_CONCAT(benchmark_stub_reg_, __LINE__) =      \
+          ::benchmark::internal::Register(#fn, fn)
+
+#endif  // REALRATE_THIRD_PARTY_BENCHMARK_STUB_H_

@@ -1,0 +1,76 @@
+// Aggregates per-bench google-benchmark JSON files into one JSON document:
+//
+//   bench_aggregate OUT NAME=FILE [NAME=FILE ...]
+//
+// Each FILE must already contain valid JSON (the output of
+// --benchmark_out=FILE --benchmark_out_format=json); it is embedded verbatim
+// as the value of "NAME" inside the top-level "benchmarks" object, so no JSON
+// parsing is needed here. Missing or empty files fail the run — a silent gap
+// in BENCH_*.json would read as "all benches covered" when they were not.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Entry {
+  std::string name;
+  std::string json;
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s OUT NAME=FILE [NAME=FILE ...]\n", argv[0]);
+    return 2;
+  }
+  std::vector<Entry> entries;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) {
+      std::fprintf(stderr, "bench_aggregate: bad argument '%s' (want NAME=FILE)\n",
+                   arg.c_str());
+      return 2;
+    }
+    Entry entry;
+    entry.name = arg.substr(0, eq);
+    const std::string path = arg.substr(eq + 1);
+    if (!ReadFile(path, &entry.json)) {
+      std::fprintf(stderr, "bench_aggregate: cannot read '%s'\n", path.c_str());
+      return 1;
+    }
+    if (entry.json.find_first_not_of(" \t\r\n") == std::string::npos) {
+      std::fprintf(stderr, "bench_aggregate: '%s' is empty\n", path.c_str());
+      return 1;
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  std::ofstream out(argv[1]);
+  if (!out) {
+    std::fprintf(stderr, "bench_aggregate: cannot write '%s'\n", argv[1]);
+    return 1;
+  }
+  out << "{\n  \"bench_count\": " << entries.size() << ",\n  \"benchmarks\": {\n";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out << "    \"" << entries[i].name << "\": " << entries[i].json;
+    out << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  out << "  }\n}\n";
+  return out.good() ? 0 : 1;
+}
