@@ -1,0 +1,82 @@
+// SMP scaling: aggregate dispatch throughput and user work versus core count. Not a
+// paper figure — the paper's prototype is a uniprocessor — but the scaling story the
+// ROADMAP demands: the same pipeline workload spread over 1..8 cores by the Machine's
+// least-loaded placement, with per-core proportion allocation (see
+// docs/ARCHITECTURE.md, "sched" and "core" layers).
+//
+// Expected shape: total dispatches/virtual-second and aggregate user fraction both
+// grow with core count while per-pipeline behaviour (queues near half-full, consumers
+// at ~2.5% of a core) stays flat — dispatch is per-core work, so an N-core machine
+// dispatches N times as often per virtual second.
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "exp/scenarios.h"
+
+namespace realrate {
+namespace {
+
+SmpParams ParamsFor(int num_cpus) {
+  SmpParams params;
+  params.num_cpus = num_cpus;
+  // Offered load grows with the machine so every core has pipelines to host: two
+  // pipelines per core (each pair needs ~7.5% of a core) plus one hog per core to
+  // soak the remaining capacity.
+  params.num_pipelines = 2 * num_cpus;
+  params.num_hogs = num_cpus;
+  params.run_for = Duration::Seconds(5);
+  return params;
+}
+
+void PrintSmpScale() {
+  bench::PrintHeader(
+      "SMP scale: dispatch throughput vs core count\n"
+      "2 pipelines + 1 hog per core; dispatch interval 1 ms; 5 s virtual time");
+
+  std::printf("  %6s %18s %16s %14s %12s %12s\n", "cores", "dispatch/vsec",
+              "agg user frac", "consumed B", "migrations", "squishes");
+  double base_throughput = 0.0;
+  for (int cpus : {1, 2, 4, 8}) {
+    const SmpResult r = RunSmpPipelinesScenario(ParamsFor(cpus));
+    if (cpus == 1) {
+      base_throughput = r.dispatch_throughput_per_vsec;
+    }
+    std::printf("  %6d %18.0f %16.3f %14lld %12lld %12lld\n", r.num_cpus,
+                r.dispatch_throughput_per_vsec, r.aggregate_user_fraction,
+                static_cast<long long>(r.total_consumed_bytes),
+                static_cast<long long>(r.migrations),
+                static_cast<long long>(r.squish_events));
+    if (cpus == 4 && base_throughput > 0.0) {
+      std::printf("         1 -> 4 core dispatch-throughput scaling: %.2fx\n",
+                  r.dispatch_throughput_per_vsec / base_throughput);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_SmpScale(benchmark::State& state) {
+  const int cpus = static_cast<int>(state.range(0));
+  SmpParams params = ParamsFor(cpus);
+  params.run_for = Duration::Seconds(2);
+  SmpResult last;
+  for (auto _ : state) {
+    last = RunSmpPipelinesScenario(params);
+    benchmark::DoNotOptimize(last.total_dispatches);
+  }
+  state.counters["cores"] = cpus;
+  state.counters["dispatch_per_vsec"] = last.dispatch_throughput_per_vsec;
+  state.counters["agg_user_frac"] = last.aggregate_user_fraction;
+}
+BENCHMARK(BM_SmpScale)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace realrate
+
+int main(int argc, char** argv) {
+  realrate::PrintSmpScale();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

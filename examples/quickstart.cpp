@@ -1,4 +1,6 @@
-// Quickstart: the smallest end-to-end use of the realrate library.
+// Quickstart: the smallest end-to-end use of the realrate library, written as a
+// walkthrough of the layer map in docs/ARCHITECTURE.md
+// (util → sim → task → queue → swift → sched → core → workloads → exp).
 //
 // Builds a simulated machine, connects a fixed-rate producer to a consumer through a
 // bounded buffer (the paper's symbiotic interface), registers both with the feedback
@@ -16,27 +18,41 @@
 using namespace realrate;
 
 int main() {
-  // 1. A simulated 400 MHz machine with the reservation scheduler and controller.
+  // 1. The exp layer: a System is one fully wired simulated machine — discrete-event
+  //    Simulator with a 400 MHz CPU cost model (sim layer), one RbsScheduler run
+  //    queue per core plus the dispatch Machine (sched layer), and the
+  //    FeedbackAllocator, the paper's contribution (core layer). SystemConfig's
+  //    num_cpus defaults to 1: the paper's uniprocessor. (Set it to 2-8 for an SMP
+  //    machine with least-loaded placement and per-core proportion budgets.)
   System system;
 
-  // 2. The symbiotic interface: a 4 kB bounded buffer.
+  // 2. The queue layer: a 4 kB BoundedBuffer, the paper's symbiotic interface. The
+  //    controller never looks deeper than fill/size/role — queue fill level IS the
+  //    progress signal.
   BoundedBuffer* queue = system.CreateQueue("pipe", 4'000);
 
-  // 3. Two threads. The producer loops 400k cycles then enqueues a 100-byte item; the
-  //    consumer spends 2000 cycles per byte it dequeues.
+  // 3. The task + workloads layers: Spawn creates a SimThread wrapping a WorkModel
+  //    and attaches it to the Machine, which places it on the least-loaded core.
+  //    The producer loops 400k cycles then enqueues a 100-byte item; the consumer
+  //    spends 2000 cycles per byte it dequeues.
   SimThread* producer = system.Spawn(
       "producer", std::make_unique<ProducerWork>(queue, /*cycles_per_item=*/400'000,
                                                  RateSchedule(/*bytes_per_item=*/100.0)));
   SimThread* consumer = system.Spawn(
       "consumer", std::make_unique<ConsumerWork>(queue, /*cycles_per_byte=*/2'000));
 
-  // 4. The meta-interface: tell the kernel who produces and who consumes.
+  // 4. The meta-interface (queue layer's QueueRegistry): register who produces into
+  //    and who consumes from the queue. The controller walks these linkages to
+  //    compute progress pressure (Figure 3): fill above 1/2 pushes the consumer's
+  //    allocation up, below 1/2 pushes it down.
   system.queues().Register(queue, producer->id(), QueueRole::kProducer);
   system.queues().Register(queue, consumer->id(), QueueRole::kConsumer);
 
-  // 5. Classify the threads for the controller (paper Figure 2). The producer brings
-  //    its own reservation; the consumer is real-rate: no proportion, no period, just
-  //    a progress metric.
+  // 5. The core layer: classify the threads (the paper's Figure 2 taxonomy). The
+  //    producer is real-time — it brings its own proportion and period, subject to
+  //    admission control against the core's budget. The consumer is real-rate: no
+  //    proportion, no period, just the progress metric registered above; the
+  //    proportion estimator (PID over filtered pressure, Figure 4) does the rest.
   if (!system.controller().AddRealTime(producer, Proportion::Ppt(50), Duration::Millis(10))) {
     std::fprintf(stderr, "admission control rejected the producer reservation\n");
     return 1;
@@ -44,7 +60,9 @@ int main() {
   system.controller().AddRealRate(consumer);
 
   // 6. Run and watch the allocation converge. The consumer needs
-  //    5000 B/s * 2000 cyc/B = 10 Mcyc/s = 2.5% of the CPU (25 ppt).
+  //    5000 B/s * 2000 cyc/B = 10 Mcyc/s = 2.5% of the CPU (25 ppt). Every knob the
+  //    convergence depends on — PID gains, pressure filter, controller interval — is
+  //    documented with its measuring bench in docs/TUNING.md.
   system.Start();
   std::printf("%6s %12s %14s %12s\n", "t(s)", "fill", "consumer ppt", "rate (B/s)");
   int64_t last_progress = 0;

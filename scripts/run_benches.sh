@@ -27,6 +27,7 @@ BENCHES=(
   bench_fig6_responsiveness
   bench_fig7_load
   bench_fig8_dispatch_overhead
+  bench_smp_scale
 )
 
 if [[ ! -x "${BUILD_DIR}/tools/bench_aggregate" ]]; then

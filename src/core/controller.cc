@@ -19,7 +19,11 @@ FeedbackAllocator::FeedbackAllocator(Machine& machine, RbsScheduler& rbs, QueueR
       overload_threshold_(config.overload_threshold) {
   RR_EXPECTS(config.interval.IsPositive());
   RR_EXPECTS(config.overload_threshold > 0 && config.overload_threshold <= 1.0);
-  rbs_.SetDeadlineMissFn([this](SimThread* t, Cycles shortfall, TimePoint now) {
+  WireScheduler(rbs_);
+}
+
+void FeedbackAllocator::WireScheduler(RbsScheduler& rbs) {
+  rbs.SetDeadlineMissFn([this](SimThread* t, Cycles shortfall, TimePoint now) {
     OnDeadlineMiss(t, shortfall, now);
   });
 }
@@ -67,11 +71,46 @@ double FeedbackAllocator::FixedReservedSum() const {
   return sum;
 }
 
+double FeedbackAllocator::FixedReservedSumOnCore(CpuId core) const {
+  double sum = 0.0;
+  for (const Controlled& c : controlled_) {
+    if ((c.cls == ThreadClass::kRealTime || c.cls == ThreadClass::kAperiodicRealTime) &&
+        c.thread->cpu() == core) {
+      sum += c.fixed_fraction;
+    }
+  }
+  return sum;
+}
+
+// Real-time admission on an SMP machine: admit against the thread's own core's fixed
+// budget; only when that core would reject the request and the core with the most
+// unreserved fixed capacity would accept it is the thread migrated there first — a
+// reservation that fits where the thread already sits never moves. On one core this
+// is the paper's admission test unchanged.
+bool FeedbackAllocator::PlaceAndAdmit(SimThread* thread, double request) {
+  if (machine_.num_cpus() > 1) {
+    CpuId best = thread->cpu();
+    double best_fixed = FixedReservedSumOnCore(best);
+    for (CpuId c = 0; c < machine_.num_cpus(); ++c) {
+      const double fixed = FixedReservedSumOnCore(c);
+      if (fixed < best_fixed - 1e-12) {
+        best = c;
+        best_fixed = fixed;
+      }
+    }
+    if (best != thread->cpu() && AdmitRealTime(best_fixed, request, overload_threshold_) &&
+        !AdmitRealTime(FixedReservedSumOnCore(thread->cpu()), request, overload_threshold_)) {
+      machine_.Migrate(thread, best);
+    }
+  }
+  return AdmitRealTime(FixedReservedSumOnCore(thread->cpu()), request, overload_threshold_);
+}
+
 bool FeedbackAllocator::AddRealTime(SimThread* thread, Proportion proportion, Duration period) {
   RR_EXPECTS(thread != nullptr);
   RR_EXPECTS(Find(thread->id()) == nullptr);
   const double request = proportion.ToFraction();
-  if (!AdmitRealTime(FixedReservedSum(), request, overload_threshold_)) {
+  if (!PlaceAndAdmit(thread, request)) {
     machine_.sim().trace().Record(machine_.sim().Now(), TraceKind::kRejected, thread->id(),
                                   proportion.ppt());
     return false;
@@ -94,7 +133,7 @@ bool FeedbackAllocator::AddAperiodicRealTime(SimThread* thread, Proportion propo
   RR_EXPECTS(thread != nullptr);
   RR_EXPECTS(Find(thread->id()) == nullptr);
   const double request = proportion.ToFraction();
-  if (!AdmitRealTime(FixedReservedSum(), request, overload_threshold_)) {
+  if (!PlaceAndAdmit(thread, request)) {
     machine_.sim().trace().Record(machine_.sim().Now(), TraceKind::kRejected, thread->id(),
                                   proportion.ppt());
     return false;
@@ -340,32 +379,45 @@ void FeedbackAllocator::RunOnce(TimePoint now) {
     SampleAndEstimate(c, dt, now);
   }
 
-  // Phase 2: overload resolution. Fixed reservations are untouchable; adaptive classes
-  // share what remains.
-  const double available = overload_threshold_ - FixedReservedSum();
+  // Phase 2 + 3: overload resolution and actuation, per core. Fixed reservations are
+  // untouchable; the adaptive classes on each core share what remains of that core's
+  // budget. The squish math is the paper's uniprocessor logic applied within one
+  // core's overload threshold; cross-core balancing is the Machine's rebalancer's
+  // job, not the squisher's. One core → identical to the pre-SMP controller.
+  bool any_overload = false;
   std::vector<SquishRequest> requests;
   std::vector<Controlled*> adaptive;
-  for (Controlled& c : controlled_) {
-    if (c.cls == ThreadClass::kRealRate || c.cls == ThreadClass::kMiscellaneous ||
-        c.cls == ThreadClass::kInteractive) {
-      requests.push_back({c.thread->id(), c.desired, c.thread->importance(),
-                          config_.estimator.min_fraction});
-      adaptive.push_back(&c);
+  for (CpuId core = 0; core < machine_.num_cpus(); ++core) {
+    requests.clear();
+    adaptive.clear();
+    for (Controlled& c : controlled_) {
+      if ((c.cls == ThreadClass::kRealRate || c.cls == ThreadClass::kMiscellaneous ||
+           c.cls == ThreadClass::kInteractive) &&
+          c.thread->cpu() == core) {
+        requests.push_back({c.thread->id(), c.desired, c.thread->importance(),
+                            config_.estimator.min_fraction});
+        adaptive.push_back(&c);
+      }
+    }
+    if (adaptive.empty()) {
+      continue;
+    }
+    const double available = overload_threshold_ - FixedReservedSumOnCore(core);
+    double desired_sum = 0.0;
+    for (const SquishRequest& r : requests) {
+      desired_sum += r.desired;
+    }
+    const std::vector<SquishResult> grants = Squish(requests, std::max(0.0, available));
+    if (desired_sum > available) {
+      any_overload = true;
+    }
+    RR_CHECK(grants.size() == adaptive.size());
+    for (size_t i = 0; i < grants.size(); ++i) {
+      Actuate(*adaptive[i], grants[i].granted, now);
     }
   }
-  double desired_sum = 0.0;
-  for (const SquishRequest& r : requests) {
-    desired_sum += r.desired;
-  }
-  const std::vector<SquishResult> grants = Squish(requests, std::max(0.0, available));
-  if (desired_sum > available) {
+  if (any_overload) {
     ++squish_events_;
-  }
-
-  // Phase 3: actuation.
-  RR_CHECK(grants.size() == adaptive.size());
-  for (size_t i = 0; i < grants.size(); ++i) {
-    Actuate(*adaptive[i], grants[i].granted, now);
   }
 
   // Phase 4: quality exceptions.

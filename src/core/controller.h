@@ -3,6 +3,25 @@
 // derives a desired proportion through the Figure 3/Figure 4 control laws, resolves
 // overload by admission control and (weighted fair-share) squishing, and actuates the
 // reservation scheduler.
+//
+// Multi-CPU: proportions are allocated per core. Admission control and the
+// squish/overload resolution each operate within the 100% (well, overload_threshold)
+// budget of one core, exactly as the paper's uniprocessor controller does — the
+// Machine's placement/rebalance policy decides which core a thread's proportion is
+// drawn from, and a real-time reservation that would be rejected on its own core is
+// steered to the core with the most unreserved fixed capacity before admission. On a
+// 1-core machine all of this degenerates to the paper's controller, bit for bit.
+//
+// Ownership: borrows the Machine, the core-0 RbsScheduler (its actuation interface —
+// reservation state lives on the threads, so one instance can actuate any thread),
+// and the QueueRegistry; all must outlive it. Owns the per-thread estimator state.
+//
+// Units: proportions are dimensionless fractions of ONE core in [0, 1] (Proportion is
+// parts-per-thousand); periods and the controller interval are virtual-time
+// Durations; sampled usage is in simulated Cycles.
+//
+// Thread-safety: none — runs inside single-threaded simulator events like every
+// layer above the Simulator.
 #ifndef REALRATE_CORE_CONTROLLER_H_
 #define REALRATE_CORE_CONTROLLER_H_
 
@@ -67,6 +86,11 @@ class FeedbackAllocator {
   // Schedules the periodic controller invocation. Call once.
   void Start();
 
+  // Wires deadline-miss feedback from an additional per-core RbsScheduler to this
+  // controller (the constructor wires the primary one). System calls this for cores
+  // 1..N-1 when building an SMP machine.
+  void WireScheduler(RbsScheduler& rbs);
+
   // --- Registration: the Figure 2 taxonomy ---
   // Real-time: proportion and period specified. Subject to admission control; returns
   // false (and leaves the thread unmanaged) when rejected.
@@ -96,7 +120,10 @@ class FeedbackAllocator {
   Duration PeriodOf(ThreadId id) const;
   std::optional<ThreadClass> ClassOf(ThreadId id) const;
   double overload_threshold() const { return overload_threshold_; }
+  // Fixed (real-time / aperiodic real-time) reservations: machine-wide sum, and the
+  // sum drawn from one core's budget.
   double FixedReservedSum() const;
+  double FixedReservedSumOnCore(CpuId core) const;
   int64_t invocations() const { return invocations_; }
   int64_t quality_exceptions() const { return quality_exceptions_; }
   int64_t squish_events() const { return squish_events_; }
@@ -126,6 +153,10 @@ class FeedbackAllocator {
   };
 
   void ScheduleNext();
+  // The paper's admission test against the thread's core's fixed budget; if that
+  // core would reject but the least fixed-loaded core would accept (SMP only), the
+  // thread migrates there first.
+  bool PlaceAndAdmit(SimThread* thread, double request);
   Controlled* Find(ThreadId id);
   const Controlled* Find(ThreadId id) const;
   void Admit(Controlled&& c, Proportion proportion);

@@ -2,15 +2,29 @@
 
 #include <utility>
 
+#include "util/assert.h"
+
 namespace realrate {
 
 System::System(const SystemConfig& config)
-    : sim_(std::make_unique<Simulator>(config.cpu)),
-      rbs_(std::make_unique<RbsScheduler>(sim_->cpu(), config.rbs)),
-      machine_(std::make_unique<Machine>(*sim_, *rbs_, threads_, config.machine)),
-      controller_(std::make_unique<FeedbackAllocator>(*machine_, *rbs_, queues_,
-                                                      config.controller)),
-      start_controller_(config.start_controller) {}
+    : sim_(std::make_unique<Simulator>(config.cpu, config.num_cpus)),
+      start_controller_(config.start_controller) {
+  RR_EXPECTS(config.num_cpus >= 1);
+  std::vector<Scheduler*> schedulers;
+  schedulers.reserve(static_cast<size_t>(config.num_cpus));
+  for (int i = 0; i < config.num_cpus; ++i) {
+    rbs_cores_.push_back(
+        std::make_unique<RbsScheduler>(sim_->cpu(static_cast<CpuId>(i)), config.rbs));
+    schedulers.push_back(rbs_cores_.back().get());
+  }
+  machine_ = std::make_unique<Machine>(*sim_, std::move(schedulers), threads_, config.machine);
+  controller_ = std::make_unique<FeedbackAllocator>(*machine_, *rbs_cores_[0], queues_,
+                                                    config.controller);
+  // The constructor wires core 0's deadline-miss feedback; wire the rest.
+  for (size_t i = 1; i < rbs_cores_.size(); ++i) {
+    controller_->WireScheduler(*rbs_cores_[i]);
+  }
+}
 
 BoundedBuffer* System::CreateQueue(std::string name, int64_t capacity_bytes) {
   BoundedBuffer* q = queues_.CreateQueue(std::move(name), capacity_bytes);

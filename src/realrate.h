@@ -1,17 +1,29 @@
 // Umbrella header: the public API of the realrate library — a reproduction of
 // "A Feedback-driven Proportion Allocator for Real-Rate Scheduling" (Steere et al.,
-// OSDI 1999 / OGI TR 98-014).
+// OSDI 1999 / OGI TR 98-014), extended to an N-core SMP machine with per-core
+// dispatch and cross-core proportion allocation. docs/ARCHITECTURE.md is the
+// narrative version of this map; docs/TUNING.md documents every knob.
 //
 // Layering (bottom to top):
 //   util      — time, stats, rng, series
-//   sim       — discrete-event simulator, CPU cost model, trace
+//   sim       — discrete-event simulator, per-core CPU cost model, trace
 //   task      — threads and work models
 //   queue     — bounded buffers (symbiotic interfaces), meta-interface registry
 //   swift     — feedback-circuit toolkit (PID et al.)
-//   sched     — dispatch machine; RBS + baseline schedulers
+//   sched     — per-core dispatch machine + placement/rebalance; RBS + baselines
 //   core      — the feedback proportion allocator (the paper's contribution)
 //   workloads — producer/consumer, hogs, servers, interactive jobs
 //   exp       — wired System, Sampler, and the paper's experiment scenarios
+//
+// Ownership: a System (exp/system.h) owns one machine's worth of everything; when
+// wiring by hand, construct Simulator → registries → schedulers → Machine →
+// FeedbackAllocator and keep each alive for the lifetime of the layers above it.
+//
+// Units: virtual time is integral nanoseconds (util/time.h); work is simulated
+// Cycles; allocations are Proportion (parts-per-thousand of ONE core).
+//
+// Thread-safety: none anywhere — the simulation is single-(host-)threaded and
+// deterministic by construction; simulated SMP cores interleave on one event queue.
 #ifndef REALRATE_REALRATE_H_
 #define REALRATE_REALRATE_H_
 

@@ -1,6 +1,7 @@
 #include "sched/machine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/assert.h"
 #include "util/log.h"
@@ -9,8 +10,20 @@ namespace realrate {
 
 Machine::Machine(Simulator& sim, Scheduler& scheduler, ThreadRegistry& registry,
                  const MachineConfig& config)
-    : sim_(sim), scheduler_(scheduler), registry_(registry), config_(config) {
+    : Machine(sim, std::vector<Scheduler*>{&scheduler}, registry, config) {}
+
+Machine::Machine(Simulator& sim, std::vector<Scheduler*> schedulers, ThreadRegistry& registry,
+                 const MachineConfig& config)
+    : sim_(sim), registry_(registry), config_(config) {
+  RR_EXPECTS(!schedulers.empty());
+  RR_EXPECTS(static_cast<int>(schedulers.size()) == sim.num_cpus());
   RR_EXPECTS(config.dispatch_interval.IsPositive());
+  RR_EXPECTS(config.rebalance_threshold > 0);
+  cores_.resize(schedulers.size());
+  for (size_t i = 0; i < schedulers.size(); ++i) {
+    RR_EXPECTS(schedulers[i] != nullptr);
+    cores_[i].scheduler = schedulers[i];
+  }
   cycles_per_tick_ = sim_.cpu().DurationToCycles(config.dispatch_interval);
   RR_EXPECTS(cycles_per_tick_ > 0);
 }
@@ -18,12 +31,78 @@ Machine::Machine(Simulator& sim, Scheduler& scheduler, ThreadRegistry& registry,
 void Machine::Start() {
   RR_EXPECTS(!started_);
   started_ = true;
-  sim_.ScheduleAfter(config_.dispatch_interval, [this] { Tick(); });
+  for (CpuId c = 0; c < num_cpus(); ++c) {
+    sim_.ScheduleAfter(config_.dispatch_interval, [this, c] { Tick(c); });
+  }
+  if (num_cpus() > 1 && config_.rebalance_interval.IsPositive()) {
+    sim_.ScheduleAfter(config_.rebalance_interval, [this] { Rebalance(); });
+  }
+}
+
+CpuId Machine::LeastLoadedCore(const SimThread* placing) const {
+  CpuId best = 0;
+  double best_load = ReservedFractionOn(0, placing);
+  int best_count = ThreadCountOn(0, placing);
+  for (CpuId c = 1; c < num_cpus(); ++c) {
+    const double load = ReservedFractionOn(c, placing);
+    const int count = ThreadCountOn(c, placing);
+    if (load < best_load - 1e-12 ||
+        (load < best_load + 1e-12 && count < best_count)) {
+      best = c;
+      best_load = load;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double Machine::ReservedFractionOn(CpuId core, const SimThread* excluding) const {
+  double sum = 0.0;
+  for (const SimThread* t : registry_.All()) {
+    if (t != excluding && t->cpu() == core && !t->HasExited() &&
+        t->policy() == SchedPolicy::kReservation) {
+      sum += t->proportion().ToFraction();
+    }
+  }
+  return sum;
+}
+
+int Machine::ThreadCountOn(CpuId core, const SimThread* excluding) const {
+  int count = 0;
+  for (const SimThread* t : registry_.All()) {
+    if (t != excluding && t->cpu() == core && !t->HasExited()) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 void Machine::Attach(SimThread* thread) {
   RR_EXPECTS(thread != nullptr);
-  scheduler_.AddThread(thread);
+  // Exclude the thread itself from the load census: it is typically already in the
+  // registry (with a default core-0 affinity) by the time it is attached.
+  const CpuId core = LeastLoadedCore(thread);
+  thread->set_cpu(core);
+  CoreAt(core).scheduler->AddThread(thread);
+}
+
+void Machine::Migrate(SimThread* thread, CpuId core) {
+  RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(core >= 0 && core < num_cpus());
+  const CpuId from = thread->cpu();
+  if (from == core) {
+    return;
+  }
+  RR_EXPECTS(thread->state() != ThreadState::kRunning);
+  Core& old_core = CoreAt(from);
+  old_core.scheduler->RemoveThread(thread);
+  if (old_core.last_ran == thread) {
+    old_core.last_ran = nullptr;  // Next pick on the old core is a context switch.
+  }
+  thread->set_cpu(core);
+  CoreAt(core).scheduler->AddThread(thread);
+  ++migrations_;
+  sim_.trace().Record(sim_.Now(), TraceKind::kMigrate, thread->id(), from, core);
 }
 
 void Machine::Attach(BoundedBuffer* queue) {
@@ -49,7 +128,7 @@ void Machine::Wake(ThreadId thread_id) {
   thread->set_state(ThreadState::kRunnable);
   thread->set_last_wake_time(sim_.Now());
   thread->work().OnWake(sim_.Now());
-  scheduler_.OnWake(thread, sim_.Now());
+  CoreAt(thread->cpu()).scheduler->OnWake(thread, sim_.Now());
   sim_.trace().Record(sim_.Now(), TraceKind::kWake, thread_id);
 }
 
@@ -71,22 +150,39 @@ void Machine::CancelSleep(SimThread* thread) {
   thread->set_state(ThreadState::kRunnable);
   thread->set_last_wake_time(sim_.Now());
   thread->work().OnWake(sim_.Now());
-  scheduler_.OnWake(thread, sim_.Now());
+  CoreAt(thread->cpu()).scheduler->OnWake(thread, sim_.Now());
   sim_.trace().Record(sim_.Now(), TraceKind::kWake, thread->id(), /*arg0=*/-2);
 }
 
-void Machine::StealCycles(CpuUse category, Cycles cycles) {
+void Machine::StealCycles(CpuUse category, Cycles cycles, CpuId core) {
   RR_EXPECTS(cycles >= 0);
-  sim_.cpu().Charge(category, cycles);
+  sim_.cpu(core).Charge(category, cycles);
   if (config_.charge_overheads) {
-    stolen_backlog_ += cycles;
+    CoreAt(core).stolen_backlog += cycles;
   }
 }
 
 void Machine::RunFor(Duration d) { sim_.RunFor(d); }
 
+int64_t Machine::dispatches() const {
+  int64_t total = 0;
+  for (const Core& c : cores_) {
+    total += c.dispatches;
+  }
+  return total;
+}
+
+int64_t Machine::context_switches() const {
+  int64_t total = 0;
+  for (const Core& c : cores_) {
+    total += c.context_switches;
+  }
+  return total;
+}
+
 void Machine::WakeExpiredSleepers(TimePoint now) {
-  Cpu& cpu = sim_.cpu();
+  // The global timer interrupt is serviced by the boot core; its cost lands there.
+  Cpu& cpu = sim_.cpu(0);
   bool any_expired = false;
   while (!sleepers_.empty() && sleepers_.top().wake_at <= now) {
     const SleepEntry entry = sleepers_.top();
@@ -107,7 +203,7 @@ void Machine::WakeExpiredSleepers(TimePoint now) {
     thread->set_state(ThreadState::kRunnable);
     thread->set_last_wake_time(now);
     thread->work().OnWake(now);
-    scheduler_.OnWake(thread, now);
+    CoreAt(thread->cpu()).scheduler->OnWake(thread, now);
     sim_.trace().Record(now, TraceKind::kWake, entry.thread, /*arg0=*/-1);
   }
   // The cached next-expiry means an interrupt that finds nothing expired does near-zero
@@ -117,33 +213,36 @@ void Machine::WakeExpiredSleepers(TimePoint now) {
   }
 }
 
-void Machine::Tick() {
+void Machine::Tick(CpuId core_id) {
   const TimePoint now = sim_.Now();
-  ++ticks_;
+  Core& core = CoreAt(core_id);
+  ++core.ticks;
 
-  WakeExpiredSleepers(now);
-  scheduler_.OnTick(now);
+  if (core_id == 0) {
+    WakeExpiredSleepers(now);
+  }
+  core.scheduler->OnTick(now);
 
   // Capacity of this tick, minus overhead backlog carried over (controller runs,
   // timer/dispatch costs that exceeded a previous tick).
   Cycles cycles_left = cycles_per_tick_;
-  const Cycles absorbed = std::min(stolen_backlog_, cycles_left);
+  const Cycles absorbed = std::min(core.stolen_backlog, cycles_left);
   cycles_left -= absorbed;
-  stolen_backlog_ -= absorbed;
+  core.stolen_backlog -= absorbed;
 
-  DispatchLoop(now, cycles_left);
+  DispatchLoop(core, core_id, now, cycles_left);
 
-  sim_.ScheduleAfter(config_.dispatch_interval, [this] { Tick(); });
+  sim_.ScheduleAfter(config_.dispatch_interval, [this, core_id] { Tick(core_id); });
 }
 
-void Machine::DispatchLoop(TimePoint now, Cycles cycles_left) {
-  Cpu& cpu = sim_.cpu();
+void Machine::DispatchLoop(Core& core, CpuId core_id, TimePoint now, Cycles cycles_left) {
+  Cpu& cpu = sim_.cpu(core_id);
   const Cycles dispatch_cost =
       config_.charge_overheads ? cpu.DispatchCostAt(dispatch_hz()) : 0;
 
   while (cycles_left > 0) {
     // schedule() runs at every dispatch point.
-    ++dispatches_;
+    ++core.dispatches;
     if (config_.charge_overheads) {
       cpu.Charge(CpuUse::kDispatch, dispatch_cost);
       cycles_left -= std::min(dispatch_cost, cycles_left);
@@ -152,27 +251,27 @@ void Machine::DispatchLoop(TimePoint now, Cycles cycles_left) {
       }
     }
 
-    SimThread* pick = scheduler_.PickNext(now);
+    SimThread* pick = core.scheduler->PickNext(now);
     if (pick == nullptr) {
       cpu.Charge(CpuUse::kIdle, cycles_left);
       return;
     }
 
-    if (pick != last_ran_) {
-      ++context_switches_;
+    if (pick != core.last_ran) {
+      ++core.context_switches;
       if (config_.charge_overheads) {
         const Cycles cs = cpu.config().context_switch_cycles;
         cpu.Charge(CpuUse::kDispatch, cs);
         cycles_left -= std::min(cs, cycles_left);
         if (cycles_left == 0) {
-          last_ran_ = pick;
+          core.last_ran = pick;
           return;
         }
       }
-      last_ran_ = pick;
+      core.last_ran = pick;
     }
 
-    const Cycles grant = scheduler_.MaxGrant(pick, cycles_left);
+    const Cycles grant = core.scheduler->MaxGrant(pick, cycles_left);
     RR_CHECK(grant > 0);
 
     pick->set_state(ThreadState::kRunning);
@@ -185,14 +284,15 @@ void Machine::DispatchLoop(TimePoint now, Cycles cycles_left) {
     pick->OnRan(result.used);
     cpu.Charge(CpuUse::kUser, result.used);
     cycles_left -= result.used;
-    scheduler_.OnRan(pick, result.used, now);
+    core.scheduler->OnRan(pick, result.used, now);
     sim_.trace().Record(now, TraceKind::kDispatch, pick->id(), result.used);
 
-    ApplyRunResult(pick, result, now);
+    ApplyRunResult(core, pick, result, now);
   }
 }
 
-void Machine::ApplyRunResult(SimThread* thread, const RunResult& result, TimePoint now) {
+void Machine::ApplyRunResult(Core& core, SimThread* thread, const RunResult& result,
+                             TimePoint now) {
   switch (result.next) {
     case RunResult::Next::kRunnable:
       thread->set_state(ThreadState::kRunnable);
@@ -200,33 +300,88 @@ void Machine::ApplyRunResult(SimThread* thread, const RunResult& result, TimePoi
     case RunResult::Next::kBlocked:
       thread->set_state(ThreadState::kBlocked);
       thread->OnBurstEnd();  // Ran-before-blocking measurement for interactive jobs.
-      scheduler_.OnBlock(thread, now);
+      core.scheduler->OnBlock(thread, now);
       sim_.trace().Record(now, TraceKind::kBlock, thread->id(), result.block_tag);
       return;  // Throttling is irrelevant once off the run queue.
     case RunResult::Next::kSleeping:
       thread->set_state(ThreadState::kRunnable);  // SleepUntil flips it to kSleeping.
       thread->OnBurstEnd();
       SleepUntil(thread, std::max(result.wake_at, now));
-      scheduler_.OnBlock(thread, now);
+      core.scheduler->OnBlock(thread, now);
       return;
     case RunResult::Next::kExited:
       thread->set_state(ThreadState::kExited);
-      scheduler_.RemoveThread(thread);
+      core.scheduler->RemoveThread(thread);
       sim_.trace().Record(now, TraceKind::kExit, thread->id());
-      if (last_ran_ == thread) {
-        last_ran_ = nullptr;
+      if (core.last_ran == thread) {
+        core.last_ran = nullptr;
       }
       return;
   }
 
   // Budget enforcement: "when a thread has used its allocation for its period, it is
   // put to sleep until its next period begins."
-  if (const auto throttle_until = scheduler_.ThrottleUntil(thread, now)) {
+  if (const auto throttle_until = core.scheduler->ThrottleUntil(thread, now)) {
     sim_.trace().Record(now, TraceKind::kBudgetExhausted, thread->id(),
                         thread->cycles_this_period());
     SleepUntil(thread, std::max(*throttle_until, now));
-    scheduler_.OnBlock(thread, now);
+    core.scheduler->OnBlock(thread, now);
   }
+}
+
+void Machine::Rebalance() {
+  // Deterministic greedy pass: while some core's reserved proportion exceeds the
+  // over-subscription threshold, move its smallest reservation to the least-loaded
+  // core — but only while each move strictly narrows the machine's load spread, so
+  // the pass terminates and threads cannot ping-pong.
+  const int n = num_cpus();
+  for (int moves = 0; moves < 2 * n; ++moves) {
+    CpuId hi = 0;
+    CpuId lo = 0;
+    double hi_load = -1.0;
+    double lo_load = 0.0;
+    for (CpuId c = 0; c < n; ++c) {
+      const double load = ReservedFractionOn(c);
+      if (load > hi_load + 1e-12) {
+        hi = c;
+        hi_load = load;
+      }
+      if (c == 0 || load < lo_load - 1e-12) {
+        lo = c;
+        lo_load = load;
+      }
+    }
+    if (hi_load <= config_.rebalance_threshold || hi == lo) {
+      break;
+    }
+    // Smallest positive reservation on the over-subscribed core (tie: lowest id).
+    SimThread* victim = nullptr;
+    double victim_fraction = 0.0;
+    for (SimThread* t : registry_.All()) {
+      if (t->cpu() != hi || t->HasExited() || t->policy() != SchedPolicy::kReservation ||
+          t->state() == ThreadState::kRunning) {
+        continue;
+      }
+      const double f = t->proportion().ToFraction();
+      if (f <= 0.0) {
+        continue;
+      }
+      if (victim == nullptr || f < victim_fraction - 1e-12) {
+        victim = t;
+        victim_fraction = f;
+      }
+    }
+    // Accept the move only if it strictly narrows the spread AND leaves the
+    // destination under the over-subscription threshold — shifting a reservation
+    // onto a nearly-full core would break the headroom admission control
+    // guaranteed there.
+    if (victim == nullptr || lo_load + victim_fraction >= hi_load - 1e-12 ||
+        lo_load + victim_fraction > config_.rebalance_threshold + 1e-12) {
+      break;
+    }
+    Migrate(victim, lo);
+  }
+  sim_.ScheduleAfter(config_.rebalance_interval, [this] { Rebalance(); });
 }
 
 }  // namespace realrate

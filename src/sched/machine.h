@@ -1,9 +1,31 @@
-// Machine: the simulated kernel's dispatch engine. Owns the timer tick (the paper's
-// 1 ms dispatch interval), runs the scheduler at every dispatch point, executes thread
-// work models, applies blocking/sleeping/budget-throttling transitions, maintains the
-// sorted sleep list with a cached next expiry (the paper's do_timers() optimization),
-// and charges the CPU cost model for dispatch, context-switch and timer overheads so
-// overhead experiments (Fig. 5, Fig. 8) measure real capacity loss.
+// Machine: the simulated kernel's dispatch engine, generalized to N CPUs. Each core
+// owns a dispatch clock (the paper's 1 ms dispatch interval), a scheduler instance
+// (its run queue), and its own overhead/backlog accounting; the Machine additionally
+// owns the global timer subsystem (sleep list, serviced by core 0 — the boot core),
+// the least-loaded placement policy for new threads, and the periodic rebalancer that
+// migrates threads off proportion-over-subscribed cores.
+//
+// The paper's squish/overload logic operates within one core's 100% budget (see
+// core/controller.h); the Machine is what turns N such budgets into one machine by
+// deciding which core each thread's proportion is drawn from.
+//
+// Ownership: the Machine borrows the Simulator, the per-core Schedulers, and the
+// ThreadRegistry — all must outlive it. It owns nothing but its per-core bookkeeping.
+//
+// Units: all externally visible quantities are either simulated Cycles (work,
+// budgets, overheads) or virtual-time Duration/TimePoint (dispatch interval, sleep
+// deadlines). dispatch_hz() is dispatches per virtual second. Nothing here is
+// wall-clock.
+//
+// Thread-safety: none — like everything above the Simulator, the Machine runs inside
+// single-threaded simulator events. Per-core state is "per-core" in the simulated
+// machine, not per-host-thread; cores interleave deterministically on one event queue
+// (each tick, cores run in ascending core-id order).
+//
+// Single-CPU compatibility: a Machine built with one scheduler (the legacy
+// constructor) schedules exactly the same events, in the same order, with the same
+// costs as the pre-SMP implementation, so cpus=1 traces are bit-identical to the
+// original single-CPU machine (tests/smp_test.cc pins this).
 #ifndef REALRATE_SCHED_MACHINE_H_
 #define REALRATE_SCHED_MACHINE_H_
 
@@ -27,23 +49,42 @@ struct MachineConfig {
   // If false, dispatch/context-switch/timer costs are not deducted from capacity
   // (useful for pure-policy unit tests that want exact cycle math).
   bool charge_overheads = true;
+  // --- SMP policy knobs (ignored on a 1-core machine) ---
+  // How often the rebalancer looks for proportion-over-subscribed cores. Zero
+  // disables rebalancing entirely.
+  Duration rebalance_interval = Duration::Millis(100);
+  // A core whose reserved-proportion sum exceeds this is over-subscribed: the
+  // rebalancer migrates its smallest reservations to the least-loaded core for as
+  // long as each move strictly reduces the machine's load spread. Defaults just
+  // under the controller's 0.95 admission ceiling so a core pinned at the squish
+  // ceiling counts as over-subscribed.
+  double rebalance_threshold = 0.9;
 };
 
 class Machine {
  public:
+  // Single-core machine (the paper's uniprocessor): `scheduler` is core 0's run
+  // queue. Requires a 1-CPU simulator.
   Machine(Simulator& sim, Scheduler& scheduler, ThreadRegistry& registry,
           const MachineConfig& config = MachineConfig{});
+  // SMP machine: one scheduler (run queue) per core, in core-id order. Requires
+  // schedulers.size() == sim.num_cpus().
+  Machine(Simulator& sim, std::vector<Scheduler*> schedulers, ThreadRegistry& registry,
+          const MachineConfig& config = MachineConfig{});
 
-  // Schedules the first tick. Call once before Simulator::Run*.
+  // Schedules the first tick on every core (and the rebalancer on SMP machines).
+  // Call once before Simulator::Run*.
   void Start();
 
   Simulator& sim() { return sim_; }
-  Scheduler& scheduler() { return scheduler_; }
+  Scheduler& scheduler(CpuId core = 0) { return *CoreAt(core).scheduler; }
   ThreadRegistry& registry() { return registry_; }
   const MachineConfig& config() const { return config_; }
   double dispatch_hz() const { return 1.0 / config_.dispatch_interval.ToSeconds(); }
+  int num_cpus() const { return static_cast<int>(cores_.size()); }
 
-  // Adds a thread to the scheduler (it must already be in the registry).
+  // Adds a thread to the machine (it must already be in the registry): places it on
+  // the least-loaded core and enqueues it with that core's scheduler.
   void Attach(SimThread* thread);
 
   // Wires a wait object's wake callback to this machine.
@@ -51,8 +92,8 @@ class Machine {
   void Attach(SimMutex* mutex);
   void Attach(TtyPort* tty);
 
-  // Wakes a blocked thread (queue/mutex/tty callbacks land here). Waking a thread that
-  // is not blocked is a no-op (spurious wake).
+  // Wakes a blocked thread (queue/mutex/tty callbacks land here) on its assigned
+  // core. Waking a thread that is not blocked is a no-op (spurious wake).
   void Wake(ThreadId thread_id);
 
   // Puts `thread` (currently runnable) to sleep until `wake_at`.
@@ -63,16 +104,39 @@ class Machine {
   void CancelSleep(SimThread* thread);
 
   // Deducts external overhead (e.g. the user-level controller's computation) from the
-  // capacity of upcoming ticks and charges the given accounting category.
-  void StealCycles(CpuUse category, Cycles cycles);
+  // capacity of `core`'s upcoming ticks and charges the given accounting category.
+  // The user-level controller runs on the boot core, hence the default.
+  void StealCycles(CpuUse category, Cycles cycles, CpuId core = 0);
+
+  // --- Placement / migration (the SMP policy surface) ---
+  // The core Attach would place a new thread on right now: smallest reserved
+  // proportion, ties broken by fewest attached threads, then lowest core id.
+  // `placing` (if non-null) is excluded from the census — pass the thread being
+  // placed when it is already registered.
+  CpuId LeastLoadedCore(const SimThread* placing = nullptr) const;
+  // Moves `thread` to `core`: removes it from its current core's run queue, updates
+  // its affinity, and enqueues it with the target scheduler. No-op if already there.
+  // Must not be called for a thread that is currently on-CPU (mid-dispatch).
+  void Migrate(SimThread* thread, CpuId core);
+  // Sum of reserved proportions (fractions of one core) of threads assigned to
+  // `core`, optionally excluding one thread.
+  double ReservedFractionOn(CpuId core, const SimThread* excluding = nullptr) const;
+  // Live (non-exited) threads assigned to `core`, optionally excluding one thread.
+  int ThreadCountOn(CpuId core, const SimThread* excluding = nullptr) const;
 
   // Convenience: run the simulation for `d` of virtual time.
   void RunFor(Duration d);
 
   // --- Introspection for tests and experiments ---
-  int64_t dispatches() const { return dispatches_; }
-  int64_t context_switches() const { return context_switches_; }
-  int64_t ticks() const { return ticks_; }
+  // Machine-wide totals (sums over cores)...
+  int64_t dispatches() const;
+  int64_t context_switches() const;
+  int64_t migrations() const { return migrations_; }
+  // ...and per-core views. ticks() is per-core because cores tick in lockstep; core
+  // 0's count is the machine's tick count.
+  int64_t dispatches_on(CpuId core) const { return CoreAt(core).dispatches; }
+  int64_t context_switches_on(CpuId core) const { return CoreAt(core).context_switches; }
+  int64_t ticks() const { return CoreAt(0).ticks; }
   Cycles cycles_per_tick() const { return cycles_per_tick_; }
 
  private:
@@ -88,29 +152,46 @@ class Machine {
     }
   };
 
-  void Tick();
+  // Per-core dispatcher state: the run queue (scheduler) plus everything the
+  // pre-SMP Machine kept as single members.
+  struct Core {
+    Scheduler* scheduler = nullptr;
+    SimThread* last_ran = nullptr;
+    Cycles stolen_backlog = 0;
+    int64_t dispatches = 0;
+    int64_t context_switches = 0;
+    int64_t ticks = 0;
+  };
+
+  Core& CoreAt(CpuId core) {
+    RR_EXPECTS(core >= 0 && static_cast<size_t>(core) < cores_.size());
+    return cores_[static_cast<size_t>(core)];
+  }
+  const Core& CoreAt(CpuId core) const {
+    RR_EXPECTS(core >= 0 && static_cast<size_t>(core) < cores_.size());
+    return cores_[static_cast<size_t>(core)];
+  }
+
+  void Tick(CpuId core);
   void WakeExpiredSleepers(TimePoint now);
-  // Runs work for up to `cycles_left`; returns cycles actually consumed (work +
-  // overheads). One iteration of the intra-tick dispatch loop.
-  void DispatchLoop(TimePoint now, Cycles cycles_left);
-  void ApplyRunResult(SimThread* thread, const RunResult& result, TimePoint now);
+  // Runs work for up to `cycles_left` on `core`; one iteration of the intra-tick
+  // dispatch loop.
+  void DispatchLoop(Core& core, CpuId core_id, TimePoint now, Cycles cycles_left);
+  void ApplyRunResult(Core& core, SimThread* thread, const RunResult& result, TimePoint now);
+  // One pass of the over-subscription rebalancer; reschedules itself.
+  void Rebalance();
 
   Simulator& sim_;
-  Scheduler& scheduler_;
   ThreadRegistry& registry_;
   MachineConfig config_;
+  std::vector<Core> cores_;
   Cycles cycles_per_tick_ = 0;
 
   std::priority_queue<SleepEntry, std::vector<SleepEntry>, std::greater<SleepEntry>> sleepers_;
   std::unordered_map<ThreadId, uint64_t> sleep_generation_;
   uint64_t next_generation_ = 1;
 
-  SimThread* last_ran_ = nullptr;
-  Cycles stolen_backlog_ = 0;
-
-  int64_t dispatches_ = 0;
-  int64_t context_switches_ = 0;
-  int64_t ticks_ = 0;
+  int64_t migrations_ = 0;
   bool started_ = false;
 };
 

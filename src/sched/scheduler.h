@@ -2,6 +2,19 @@
 // state transitions and the timeline; a Scheduler only orders runnable threads and
 // accounts budgets. This split mirrors the paper's "dispatcher" (low-level, runs at
 // dispatch time) versus policy distinction.
+//
+// Ownership: a Scheduler instance is one core's run queue. It does not own the
+// SimThreads it orders (the ThreadRegistry does) and holds no reference to the
+// Machine; on an SMP machine there is one instance per core, each seeing only the
+// threads the Machine placed (or migrated) there.
+//
+// Units: all cycle quantities (MaxGrant, OnRan, tick_remaining) are simulated Cycles;
+// all times are virtual TimePoints. Grants are clipped against per-period budgets
+// derived from Proportion (parts-per-thousand of the owning core).
+//
+// Thread-safety: none — every method is invoked from single-threaded simulator
+// events (the owning core's tick, or wake/block transitions routed by the Machine).
+// Implementations must be deterministic: PickNext ties are broken by thread id.
 #ifndef REALRATE_SCHED_SCHEDULER_H_
 #define REALRATE_SCHED_SCHEDULER_H_
 

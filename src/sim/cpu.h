@@ -1,6 +1,11 @@
-// Simulated CPU: clock-rate conversion between cycles and virtual time, plus the cost
-// model for kernel overheads (dispatch, timer interrupts, context switches) and the
-// user-level controller. Calibrated to the paper's 400 MHz Pentium II measurements.
+// Simulated CPU core: clock-rate conversion between cycles and virtual time, plus the
+// cost model for kernel overheads (dispatch, timer interrupts, context switches) and
+// the user-level controller. Calibrated to the paper's 400 MHz Pentium II measurements.
+//
+// On a multi-core machine each core is its own Cpu instance (owned by the Simulator):
+// conversion and the cost model are identical across cores (homogeneous SMP), but
+// usage accounting (Charge/Used) is per-core, so experiments can observe per-core
+// utilization and the dispatcher charges overheads to the core that incurred them.
 #ifndef REALRATE_SIM_CPU_H_
 #define REALRATE_SIM_CPU_H_
 
@@ -55,11 +60,14 @@ enum class CpuUse : int {
 
 class Cpu {
  public:
-  explicit Cpu(const CpuConfig& config) : config_(config) {
+  explicit Cpu(const CpuConfig& config, CpuId id = 0) : config_(config), id_(id) {
     RR_EXPECTS(config.clock_hz > 0);
+    RR_EXPECTS(id >= 0);
   }
 
   const CpuConfig& config() const { return config_; }
+  // Which core of the machine this is (0-based; 0 is the boot core).
+  CpuId id() const { return id_; }
 
   Duration CyclesToDuration(Cycles c) const {
     return Duration::Nanos(static_cast<int64_t>(static_cast<double>(c) / config_.clock_hz * 1e9));
@@ -103,6 +111,7 @@ class Cpu {
 
  private:
   CpuConfig config_;
+  CpuId id_ = 0;
   Cycles used_[static_cast<int>(CpuUse::kNumCategories)] = {};
 };
 

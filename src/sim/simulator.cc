@@ -6,7 +6,21 @@
 
 namespace realrate {
 
-Simulator::Simulator(const CpuConfig& cpu_config) : cpu_(cpu_config) {}
+Simulator::Simulator(const CpuConfig& cpu_config, int num_cpus) {
+  RR_EXPECTS(num_cpus >= 1);
+  cpus_.reserve(static_cast<size_t>(num_cpus));
+  for (int i = 0; i < num_cpus; ++i) {
+    cpus_.emplace_back(cpu_config, static_cast<CpuId>(i));
+  }
+}
+
+Cycles Simulator::UsedAllCpus(CpuUse category) const {
+  Cycles total = 0;
+  for (const Cpu& c : cpus_) {
+    total += c.Used(category);
+  }
+  return total;
+}
 
 EventId Simulator::ScheduleAt(TimePoint t, EventQueue::Callback fn) {
   RR_EXPECTS(t >= now_);

@@ -1,10 +1,24 @@
 // Single-threaded discrete-event simulator: a virtual clock plus an event queue. All
 // higher layers (dispatcher, controller, workloads) advance time only through this.
+//
+// Ownership: the Simulator owns the virtual clock, the event queue, the trace
+// recorder, and one Cpu accounting object per simulated core; everything else
+// (Machine, schedulers, registries) borrows it by reference and must not outlive it.
+//
+// Units: TimePoint/Duration are virtual nanoseconds since TimePoint::Origin();
+// nothing in the simulator reads wall-clock time. Cycles are converted to virtual
+// time through Cpu::CyclesToDuration at the configured clock rate.
+//
+// Thread-safety: none — the whole simulation is single-(host-)threaded by design,
+// which is what makes runs bit-for-bit deterministic. Multi-core machines are
+// simulated by interleaving per-core dispatch events on this one event queue, not by
+// host threads. Do not touch a Simulator from more than one host thread.
 #ifndef REALRATE_SIM_SIMULATOR_H_
 #define REALRATE_SIM_SIMULATOR_H_
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/cpu.h"
 #include "sim/event_queue.h"
@@ -15,11 +29,26 @@ namespace realrate {
 
 class Simulator {
  public:
-  explicit Simulator(const CpuConfig& cpu_config = CpuConfig{});
+  // A machine with `num_cpus` homogeneous cores (same CpuConfig each). The default is
+  // the paper's uniprocessor.
+  explicit Simulator(const CpuConfig& cpu_config = CpuConfig{}, int num_cpus = 1);
 
   TimePoint Now() const { return now_; }
-  Cpu& cpu() { return cpu_; }
-  const Cpu& cpu() const { return cpu_; }
+
+  // Core accessors. `cpu()` with no argument is core 0 — the boot core — which keeps
+  // every pre-SMP call site meaning exactly what it used to on a 1-core machine.
+  Cpu& cpu(CpuId core = 0) {
+    RR_EXPECTS(core >= 0 && static_cast<size_t>(core) < cpus_.size());
+    return cpus_[static_cast<size_t>(core)];
+  }
+  const Cpu& cpu(CpuId core = 0) const {
+    RR_EXPECTS(core >= 0 && static_cast<size_t>(core) < cpus_.size());
+    return cpus_[static_cast<size_t>(core)];
+  }
+  int num_cpus() const { return static_cast<int>(cpus_.size()); }
+  // Cycles charged to `category` summed over every core.
+  Cycles UsedAllCpus(CpuUse category) const;
+
   TraceRecorder& trace() { return trace_; }
 
   // Schedules `fn` at absolute time `t` (must not be in the past).
@@ -40,7 +69,7 @@ class Simulator {
  private:
   TimePoint now_ = TimePoint::Origin();
   EventQueue events_;
-  Cpu cpu_;
+  std::vector<Cpu> cpus_;
   TraceRecorder trace_;
   uint64_t events_processed_ = 0;
 };

@@ -26,6 +26,8 @@ const char* ToString(TraceKind kind) {
       return "rejected";
     case TraceKind::kExit:
       return "exit";
+    case TraceKind::kMigrate:
+      return "migrate";
   }
   return "?";
 }

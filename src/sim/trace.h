@@ -23,6 +23,7 @@ enum class TraceKind : uint8_t {
   kAdmitted,       // arg0 = proportion ppt
   kRejected,       // arg0 = requested ppt
   kExit,
+  kMigrate,        // arg0 = from core, arg1 = to core
 };
 
 struct TraceEvent {

@@ -73,6 +73,15 @@ class SimThread {
     importance_ = w;
   }
 
+  // --- Core affinity (maintained by the Machine's placement/migration policy) ---
+  // The core this thread dispatches on. A thread only ever runs on its assigned core;
+  // the Machine moves it with Migrate(), never mid-dispatch.
+  CpuId cpu() const { return cpu_; }
+  void set_cpu(CpuId core) {
+    RR_EXPECTS(core >= 0);
+    cpu_ = core;
+  }
+
   // --- Reservation attributes (actuated by the controller) ---
   Proportion proportion() const { return proportion_; }
   Duration period() const { return period_; }
@@ -149,6 +158,7 @@ class SimThread {
   ThreadClass class_ = ThreadClass::kMiscellaneous;
   SchedPolicy policy_ = SchedPolicy::kOther;
   double importance_ = 1.0;
+  CpuId cpu_ = 0;
 
   Proportion proportion_ = Proportion::Zero();
   Duration period_ = Duration::Millis(30);  // Paper's default period.

@@ -20,6 +20,12 @@ inline constexpr ThreadId kInvalidThreadId = -1;
 using QueueId = int32_t;
 inline constexpr QueueId kInvalidQueueId = -1;
 
+// Index of a CPU core within one simulated machine. Core 0 always exists and is the
+// "boot" core: it services the global timer interrupt and hosts the user-level
+// controller's overhead charge.
+using CpuId = int32_t;
+inline constexpr CpuId kInvalidCpuId = -1;
+
 // CPU proportion in parts-per-thousand, the unit the paper's scheduler interface uses
 // ("a percentage, specified in parts-per-thousand"). 1000 == the whole CPU.
 class Proportion {
