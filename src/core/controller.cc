@@ -430,6 +430,10 @@ void FeedbackAllocator::RunOnce(TimePoint now) {
     machine_.StealCycles(CpuUse::kController,
                          machine_.sim().cpu().ControllerCost(static_cast<int>(controlled_.size())));
   }
+
+  if (post_run_hook_) {
+    post_run_hook_(now);
+  }
 }
 
 double FeedbackAllocator::DesiredFraction(ThreadId id) const {

@@ -25,6 +25,7 @@
 #ifndef REALRATE_CORE_CONTROLLER_H_
 #define REALRATE_CORE_CONTROLLER_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -109,6 +110,12 @@ class FeedbackAllocator {
 
   void SetQualityExceptionFn(QualityExceptionFn fn) { quality_fn_ = std::move(fn); }
 
+  // Invoked at the end of every controller iteration, after overload resolution and
+  // actuation — the invariant oracle's controller-tick observation point. The hook
+  // must be a read-only observer (see MachineChecker).
+  using PostRunHook = std::function<void(TimePoint)>;
+  void SetPostRunHook(PostRunHook hook) { post_run_hook_ = std::move(hook); }
+
   // One controller iteration. Public so the wall-clock overhead bench can drive it
   // directly; normal use goes through Start().
   void RunOnce(TimePoint now);
@@ -173,6 +180,7 @@ class FeedbackAllocator {
   double overload_threshold_;
   std::vector<Controlled> controlled_;
   QualityExceptionFn quality_fn_;
+  PostRunHook post_run_hook_;
   int64_t invocations_ = 0;
   int64_t quality_exceptions_ = 0;
   int64_t squish_events_ = 0;

@@ -30,6 +30,22 @@ const char* ToString(SchedulerKind kind) {
   return "?";
 }
 
+std::unique_ptr<Scheduler> MakeBaselineScheduler(SchedulerKind kind, const Cpu& cpu,
+                                                 uint64_t lottery_seed) {
+  switch (kind) {
+    case SchedulerKind::kFixedPriority:
+      return std::make_unique<FixedPriorityScheduler>();
+    case SchedulerKind::kMlfq:
+      return std::make_unique<MlfqScheduler>(cpu, Duration::Millis(10));
+    case SchedulerKind::kLottery:
+      return std::make_unique<LotteryScheduler>(lottery_seed);
+    case SchedulerKind::kFeedbackRbs:
+      break;
+  }
+  RR_CHECK(false);  // Feedback rigs are built through System.
+  return nullptr;
+}
+
 PipelineResult RunPipelineScenario(const PipelineParams& params) {
   SystemConfig config;
   config.cpu.clock_hz = params.clock_hz;
@@ -203,29 +219,17 @@ namespace {
 
 // Builds a machine around a baseline scheduler. The scheduler must not outlive the
 // rig's simulator (MLFQ keeps a reference to the rig's Cpu), so the rig owns both and
-// constructs them in order.
+// constructs them in order. `lottery_seed` is the injected engine seed for the one
+// stochastic baseline; the caller owns it so runs are replayable.
 struct BaselineRig {
   Simulator sim;
   ThreadRegistry threads;
   std::unique_ptr<Scheduler> scheduler;
   std::unique_ptr<Machine> machine;
 
-  explicit BaselineRig(SchedulerKind kind) {
-    switch (kind) {
-      case SchedulerKind::kFixedPriority:
-        scheduler = std::make_unique<FixedPriorityScheduler>();
-        break;
-      case SchedulerKind::kMlfq:
-        scheduler = std::make_unique<MlfqScheduler>(sim.cpu(), Duration::Millis(10));
-        break;
-      case SchedulerKind::kLottery:
-        scheduler = std::make_unique<LotteryScheduler>(/*seed=*/1234);
-        break;
-      case SchedulerKind::kFeedbackRbs:
-        RR_CHECK(false);  // Feedback rigs are built through System.
-    }
-    machine = std::make_unique<Machine>(sim, *scheduler, threads);
-  }
+  explicit BaselineRig(SchedulerKind kind, uint64_t lottery_seed = 1234)
+      : scheduler(MakeBaselineScheduler(kind, sim.cpu(), lottery_seed)),
+        machine(std::make_unique<Machine>(sim, *scheduler, threads)) {}
 };
 
 }  // namespace
@@ -266,7 +270,8 @@ PathfinderResult ExtractPathfinderResult(const Simulator& sim, SimThread* low,
 
 }  // namespace
 
-PathfinderResult RunPathfinderScenario(SchedulerKind kind, Duration run_for) {
+PathfinderResult RunPathfinderScenario(SchedulerKind kind, Duration run_for,
+                                       uint64_t lottery_seed) {
   // Threads: low-priority housekeeping task that takes a shared mutex; a CPU-bound
   // medium-priority load that arrives at t = 1 s (while the low task is likely inside
   // its critical section); a high-priority periodic task needing the same mutex.
@@ -300,7 +305,7 @@ PathfinderResult RunPathfinderScenario(SchedulerKind kind, Duration run_for) {
     return ExtractPathfinderResult(system.sim(), low, medium, high, run_for);
   }
 
-  BaselineRig rig(kind);
+  BaselineRig rig(kind, lottery_seed);
   SimMutex mutex("bus");
   rig.machine->Attach(&mutex);
 
@@ -326,7 +331,7 @@ PathfinderResult RunPathfinderScenario(SchedulerKind kind, Duration run_for) {
 }
 
 StarvationResult RunStarvationScenario(SchedulerKind kind, double importance_ratio,
-                                       Duration run_for) {
+                                       Duration run_for, uint64_t lottery_seed) {
   StarvationResult result;
   if (kind == SchedulerKind::kFeedbackRbs) {
     System system{};
@@ -342,7 +347,7 @@ StarvationResult RunStarvationScenario(SchedulerKind kind, double importance_rat
     result.favored_cpu = static_cast<double>(favored->total_cycles()) / total;
     result.lesser_cpu = static_cast<double>(lesser->total_cycles()) / total;
   } else {
-    BaselineRig rig(kind);
+    BaselineRig rig(kind, lottery_seed);
     SimThread* favored = rig.threads.Create("favored", std::make_unique<CpuHogWork>());
     SimThread* lesser = rig.threads.Create("lesser", std::make_unique<CpuHogWork>());
     favored->set_priority(10);

@@ -5,9 +5,12 @@
 #define REALRATE_EXP_SCENARIOS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/controller.h"
+#include "sched/scheduler.h"
+#include "sim/cpu.h"
 #include "util/time.h"
 #include "util/time_series.h"
 #include "util/types.h"
@@ -126,6 +129,14 @@ enum class SchedulerKind {
 
 const char* ToString(SchedulerKind kind);
 
+// Builds one run-queue instance of a baseline scheduler (`kind` must not be
+// kFeedbackRbs — feedback rigs are wired through System). `cpu` is the core the
+// instance will serve (MLFQ reads its clock); `lottery_seed` feeds the lottery
+// baseline's injected Rng. The single factory keeps the figure scenarios and the
+// differential fuzz harness comparing identically configured baselines.
+std::unique_ptr<Scheduler> MakeBaselineScheduler(SchedulerKind kind, const Cpu& cpu,
+                                                 uint64_t lottery_seed);
+
 struct PathfinderResult {
   // The high-"importance" periodic task's lock-acquisition waits.
   double high_max_wait_s = 0.0;
@@ -143,8 +154,12 @@ struct PathfinderResult {
   double low_cpu = 0.0;
 };
 
+// `lottery_seed` feeds the lottery baseline's injected Rng (ignored by the other
+// schedulers): every stochastic component in the tree draws from an explicitly
+// seeded util/rng engine, so scenario runs are replayable from their parameters.
 PathfinderResult RunPathfinderScenario(SchedulerKind kind,
-                                       Duration run_for = Duration::Seconds(10));
+                                       Duration run_for = Duration::Seconds(10),
+                                       uint64_t lottery_seed = 1234);
 
 struct StarvationResult {
   // Two CPU hogs; under priorities the lesser one starves, under the allocator both
@@ -155,7 +170,8 @@ struct StarvationResult {
 };
 
 StarvationResult RunStarvationScenario(SchedulerKind kind, double importance_ratio = 4.0,
-                                       Duration run_for = Duration::Seconds(5));
+                                       Duration run_for = Duration::Seconds(5),
+                                       uint64_t lottery_seed = 1234);
 
 // ---------------------------------------------------------------------------
 // SMP: N producer/consumer pipelines spread across a multi-core machine.

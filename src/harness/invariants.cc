@@ -1,0 +1,156 @@
+#include "harness/invariants.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "exp/system.h"
+#include "queue/registry.h"
+#include "sim/simulator.h"
+#include "task/thread.h"
+
+namespace realrate {
+
+InvariantOracle::InvariantOracle(const OracleConfig& config) : config_(config) {}
+
+void InvariantOracle::Observe(Machine& machine, QueueRegistry* queues) {
+  queues_ = queues;
+  // Per-machine progress state starts over; violation counters deliberately
+  // accumulate across Observe calls so earlier findings cannot vanish silently.
+  last_tick_.assign(static_cast<size_t>(machine.num_cpus()), TimePoint::Origin());
+  trace_checked_ = 0;
+  controller_ran_ = false;
+  machine.SetChecker(this);
+}
+
+void InvariantOracle::Observe(System& system) {
+  Observe(system.machine(), &system.queues());
+  system.controller().SetPostRunHook(
+      [this, &system](TimePoint now) { OnControllerRun(system.machine(), now); });
+}
+
+void InvariantOracle::Report(TimePoint now, std::string message) {
+  ++violation_count_;
+  if (config_.abort_on_violation) {
+    std::fprintf(stderr, "invariant violation at %.6fs: %s\n", now.ToSeconds(),
+                 message.c_str());
+    std::abort();
+  }
+  if (violations_.size() < config_.max_recorded) {
+    violations_.push_back({now, std::move(message)});
+  }
+}
+
+void InvariantOracle::OnPicked(const Machine& /*machine*/, CpuId core,
+                               const SimThread* pick, TimePoint now) {
+  ++picks_observed_;
+  if (pick->state() != ThreadState::kRunnable) {
+    Report(now, "core " + std::to_string(core) + " dispatched thread " +
+                    std::to_string(pick->id()) + " (" + pick->name() + ") in state " +
+                    ToString(pick->state()));
+  }
+  if (pick->cpu() != core) {
+    Report(now, "core " + std::to_string(core) + " dispatched thread " +
+                    std::to_string(pick->id()) + " assigned to core " +
+                    std::to_string(pick->cpu()));
+  }
+}
+
+void InvariantOracle::OnTickComplete(const Machine& machine, CpuId core, TimePoint now) {
+  ++ticks_observed_;
+  const auto c = static_cast<size_t>(core);
+  if (c >= last_tick_.size()) {
+    // Grown here rather than only in Observe() so the monotonicity check also works
+    // when the oracle is installed directly through Machine::SetChecker.
+    last_tick_.resize(c + 1, TimePoint::Origin());
+  }
+  if (now < last_tick_[c]) {
+    Report(now, "core " + std::to_string(core) + " ticked backwards in time");
+  }
+  last_tick_[c] = now;
+  // Cores tick in lockstep at identical timestamps, so machine-wide sweeps (every
+  // core's feasibility, every queue, the trace suffix) run once per timestamp rather
+  // than num_cpus times with no added detection power. The sweep rides the last
+  // core's tick — the final one of each timestamp's tick group, so it sees every
+  // event the group recorded; the ticking core's own feasibility is always checked,
+  // so a violation still surfaces within the tick that created it.
+  CheckCoreFeasibility(machine, core, now);
+  if (core == machine.num_cpus() - 1) {
+    for (CpuId other = 0; other < machine.num_cpus() - 1; ++other) {
+      CheckCoreFeasibility(machine, other, now);
+    }
+    CheckQueues(now);
+    CheckTrace(machine, now);
+  }
+}
+
+void InvariantOracle::FinishRun(const Machine& machine, TimePoint now) {
+  for (CpuId core = 0; core < machine.num_cpus(); ++core) {
+    CheckCoreFeasibility(machine, core, now);
+  }
+  CheckQueues(now);
+  CheckTrace(machine, now);
+}
+
+void InvariantOracle::OnControllerRun(const Machine& machine, TimePoint now) {
+  ++controller_runs_observed_;
+  if (controller_ran_ && now < last_controller_run_) {
+    Report(now, "controller iteration moved backwards in time");
+  }
+  controller_ran_ = true;
+  last_controller_run_ = now;
+  for (CpuId core = 0; core < machine.num_cpus(); ++core) {
+    CheckCoreFeasibility(machine, core, now);
+  }
+}
+
+void InvariantOracle::CheckCoreFeasibility(const Machine& machine, CpuId core,
+                                           TimePoint now) {
+  const double reserved = machine.ReservedFractionOn(core);
+  if (reserved > config_.max_core_allocation + 1e-9) {
+    Report(now, "core " + std::to_string(core) + " over-allocated: reserved " +
+                    std::to_string(reserved) + " > " +
+                    std::to_string(config_.max_core_allocation));
+  }
+}
+
+void InvariantOracle::CheckQueues(TimePoint now) {
+  if (queues_ == nullptr) {
+    return;
+  }
+  for (const BoundedBuffer* q : queues_->AllQueues()) {
+    if (q->fill() < 0 || q->fill() > q->capacity()) {
+      Report(now, "queue " + q->name() + " occupancy " + std::to_string(q->fill()) +
+                      " outside [0, " + std::to_string(q->capacity()) + "]");
+    }
+  }
+}
+
+void InvariantOracle::CheckTrace(const Machine& machine, TimePoint now) {
+  const TraceRecorder& trace = machine.sim().trace();
+  // WellFormedError compares the first event of the suffix against its predecessor,
+  // so ordering across the incremental-sweep boundary is covered.
+  std::string error = trace.WellFormedError(trace_checked_);
+  if (!error.empty()) {
+    Report(now, std::move(error));
+  }
+  trace_checked_ = trace.events().size();
+}
+
+std::string InvariantOracle::Summary() const {
+  std::string out;
+  char head[64];
+  for (const InvariantViolation& v : violations_) {
+    std::snprintf(head, sizeof(head), "[%.6fs] ", v.t.ToSeconds());
+    out += head;
+    out += v.message;
+    out += '\n';
+  }
+  const auto extra = violation_count_ - static_cast<int64_t>(violations_.size());
+  if (extra > 0) {
+    out += "... and " + std::to_string(extra) + " more violations\n";
+  }
+  return out;
+}
+
+}  // namespace realrate

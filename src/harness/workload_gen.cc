@@ -1,0 +1,204 @@
+#include "harness/workload_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace realrate {
+
+namespace {
+
+// Draws a rate program for a pipeline whose base item size is `base` bytes. Values
+// stay within [lo, hi] so items always fit their queue.
+std::vector<RateSegmentSpec> DrawSegments(Rng& rng, double base, double lo, double hi,
+                                          Duration run_for) {
+  std::vector<RateSegmentSpec> segments;
+  const auto horizon_ms = run_for.millis();
+  const int kind = static_cast<int>(rng.NextBounded(4));
+  switch (kind) {
+    case 0:  // Constant.
+      break;
+    case 1: {  // Bursty: a few random overrides.
+      const int n = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int i = 0; i < n; ++i) {
+        RateSegmentSpec s;
+        s.start = Duration::Millis(static_cast<int64_t>(rng.NextBounded(
+            static_cast<uint64_t>(std::max<int64_t>(1, horizon_ms)))));
+        s.width = Duration::Millis(20 + static_cast<int64_t>(rng.NextBounded(180)));
+        s.bytes_per_item = rng.NextDouble(lo, hi);
+        segments.push_back(s);
+      }
+      break;
+    }
+    case 2: {  // Pulsed: a regular square wave doubling (clamped) the base.
+      const Duration width = Duration::Millis(30 + static_cast<int64_t>(rng.NextBounded(120)));
+      const Duration gap = Duration::Millis(30 + static_cast<int64_t>(rng.NextBounded(120)));
+      const double high = std::min(hi, 2.0 * base);
+      for (Duration at = Duration::Millis(50); at < run_for; at += width + gap) {
+        segments.push_back({at, width, high});
+      }
+      break;
+    }
+    case 3: {  // Phase-shifting: pulse width drifts each cycle.
+      Duration width = Duration::Millis(40 + static_cast<int64_t>(rng.NextBounded(80)));
+      const Duration gap = Duration::Millis(40 + static_cast<int64_t>(rng.NextBounded(80)));
+      const int64_t drift_ms = 5 + static_cast<int64_t>(rng.NextBounded(25));
+      const double high = std::min(hi, 2.0 * base);
+      for (Duration at = Duration::Millis(50); at < run_for; at += width + gap) {
+        segments.push_back({at, width, high});
+        width += Duration::Millis(drift_ms);
+      }
+      break;
+    }
+  }
+  return segments;
+}
+
+}  // namespace
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t salt) {
+  // SplitMix64-style mix of (seed, salt); any stable bijective-ish scramble works.
+  uint64_t z = seed + 0x9e3779b97f4a7c15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+RateSchedule BuildRateSchedule(const PipelineSpec& spec) {
+  RateSchedule schedule(spec.bytes_per_item);
+  for (const RateSegmentSpec& s : spec.segments) {
+    schedule.AddSegment(TimePoint::Origin() + s.start, s.width, s.bytes_per_item);
+  }
+  return schedule;
+}
+
+WorkloadSpec GenerateWorkload(uint64_t seed) {
+  Rng rng(DeriveSeed(seed, 0));
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_cpus = 1 + static_cast<int>(rng.NextBounded(8));
+  spec.clock_hz = 400e6;
+  spec.run_for = Duration::Millis(300 + static_cast<int64_t>(rng.NextBounded(500)));
+
+  // Fixed-reservation budget: at most 45% of the machine, each reservation at most
+  // 45% of one core. The controller's least-fixed-loaded-core admission then always
+  // finds a core below 50%, so every generated reservation is admitted (see
+  // FeedbackAllocator::PlaceAndAdmit).
+  double fixed_budget = 0.45 * spec.num_cpus;
+
+  const int num_pipelines = static_cast<int>(rng.NextBounded(4));  // 0-3.
+  for (int i = 0; i < num_pipelines; ++i) {
+    PipelineSpec p;
+    p.paced = rng.NextBool(0.25);
+    p.producer_cycles_per_item = 100'000 + static_cast<Cycles>(rng.NextBounded(700'000));
+    p.bytes_per_item = 50.0 + rng.NextDouble() * 350.0;
+    p.consumer_cycles_per_byte = 500 + static_cast<Cycles>(rng.NextBounded(3'500));
+    p.paced_interval = Duration::Millis(2 + static_cast<int64_t>(rng.NextBounded(18)));
+    const double request = 0.03 + rng.NextDouble() * 0.09;  // 3-12% of one core.
+    p.producer_proportion = Proportion::FromFraction(std::min(request, fixed_budget));
+    p.producer_period = Duration::Millis(5 + static_cast<int64_t>(rng.NextBounded(15)));
+    // Paced producers run unreserved, but their proportion still counts against the
+    // budget: metamorphic variants (harness/differential.cc) may flip paced to
+    // reserved and must stay admissible.
+    fixed_budget -= p.producer_proportion.ToFraction();
+    // Queues hold at least a handful of the largest possible items.
+    const double max_bytes = 2.0 * p.bytes_per_item;
+    p.source_queue_bytes =
+        static_cast<int64_t>(max_bytes) * (4 + static_cast<int64_t>(rng.NextBounded(16)));
+    p.segments = DrawSegments(rng, p.bytes_per_item, 0.5 * p.bytes_per_item, max_bytes,
+                              spec.run_for);
+    const int num_stages = static_cast<int>(rng.NextBounded(3));  // 0-2.
+    for (int s = 0; s < num_stages; ++s) {
+      StageSpec stage;
+      stage.cycles_per_byte = 100 + static_cast<Cycles>(rng.NextBounded(1'900));
+      stage.chunk_bytes = 100 + static_cast<int64_t>(rng.NextBounded(300));
+      stage.queue_bytes = stage.chunk_bytes * (4 + static_cast<int64_t>(rng.NextBounded(16)));
+      p.stages.push_back(stage);
+    }
+    p.priority = 3 + static_cast<int>(rng.NextBounded(5));
+    p.tickets = 50 + static_cast<int64_t>(rng.NextBounded(250));
+    spec.pipelines.push_back(std::move(p));
+  }
+
+  const int num_hogs = static_cast<int>(rng.NextBounded(4));  // 0-3.
+  for (int i = 0; i < num_hogs; ++i) {
+    HogSpec h;
+    h.cycles_per_key = 500 + static_cast<Cycles>(rng.NextBounded(4'500));
+    h.importance = 1.0 + rng.NextDouble() * 7.0;
+    h.priority = 1 + static_cast<int>(rng.NextBounded(10));
+    h.tickets = 10 + static_cast<int64_t>(rng.NextBounded(390));
+    spec.hogs.push_back(h);
+  }
+
+  const int num_reservations = static_cast<int>(rng.NextBounded(3));  // 0-2.
+  for (int i = 0; i < num_reservations; ++i) {
+    const double request = 0.05 + rng.NextDouble() * 0.25;  // 5-30% of one core.
+    if (request > fixed_budget) {
+      continue;  // Budget exhausted; keep the draw sequence stable regardless.
+    }
+    ReservationSpec r;
+    r.proportion = Proportion::FromFraction(request);
+    r.period = Duration::Millis(5 + static_cast<int64_t>(rng.NextBounded(25)));
+    r.priority = 1 + static_cast<int>(rng.NextBounded(10));
+    r.tickets = 10 + static_cast<int64_t>(rng.NextBounded(390));
+    // Deduct the ppt-quantized value actually stored (not the raw draw), so the
+    // spec's summed fixed fraction respects the budget bit-exactly.
+    fixed_budget -= r.proportion.ToFraction();
+    spec.reservations.push_back(r);
+  }
+
+  if (spec.pipelines.empty() && spec.hogs.empty() && spec.reservations.empty()) {
+    // Never generate an empty machine; a lone hog still exercises dispatch/squish.
+    spec.hogs.push_back({1'000, 1.0, 5, 100});
+  }
+  return spec;
+}
+
+std::string WorkloadSpec::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "workload seed=%llu cpus=%d clock=%.0fMHz run_for=%lldms\n",
+                static_cast<unsigned long long>(seed), num_cpus, clock_hz / 1e6,
+                static_cast<long long>(run_for.millis()));
+  out += line;
+  for (size_t i = 0; i < pipelines.size(); ++i) {
+    const PipelineSpec& p = pipelines[i];
+    std::snprintf(line, sizeof(line),
+                  "  pipeline[%zu]: %s cycles/item=%lld bytes/item=%.1f (%zu segments) "
+                  "queue=%lldB stages=%zu consumer=%lldcyc/B prio=%d tickets=%lld\n",
+                  i, p.paced ? "paced" : "reserved",
+                  static_cast<long long>(p.producer_cycles_per_item), p.bytes_per_item,
+                  p.segments.size(), static_cast<long long>(p.source_queue_bytes),
+                  p.stages.size(), static_cast<long long>(p.consumer_cycles_per_byte),
+                  p.priority, static_cast<long long>(p.tickets));
+    out += line;
+    if (!p.paced) {
+      std::snprintf(line, sizeof(line), "    reservation %dppt / %lldms\n",
+                    p.producer_proportion.ppt(),
+                    static_cast<long long>(p.producer_period.millis()));
+      out += line;
+    }
+  }
+  for (size_t i = 0; i < hogs.size(); ++i) {
+    const HogSpec& h = hogs[i];
+    std::snprintf(line, sizeof(line),
+                  "  hog[%zu]: %lldcyc/key importance=%.2f prio=%d tickets=%lld\n", i,
+                  static_cast<long long>(h.cycles_per_key), h.importance, h.priority,
+                  static_cast<long long>(h.tickets));
+    out += line;
+  }
+  for (size_t i = 0; i < reservations.size(); ++i) {
+    const ReservationSpec& r = reservations[i];
+    std::snprintf(line, sizeof(line),
+                  "  reservation[%zu]: %dppt / %lldms prio=%d tickets=%lld\n", i,
+                  r.proportion.ppt(), static_cast<long long>(r.period.millis()),
+                  r.priority, static_cast<long long>(r.tickets));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace realrate

@@ -12,6 +12,10 @@ BoundedBuffer::BoundedBuffer(QueueId id, std::string name, int64_t capacity_byte
 
 bool BoundedBuffer::TryPush(int64_t bytes) {
   RR_EXPECTS(bytes > 0);
+  // An item larger than the whole queue can never fit: a producer would block on
+  // WaitForSpace forever waiting for room that cannot exist (silent livelock). Loud
+  // contract violation instead — size items to the queue, not vice versa.
+  RR_EXPECTS(bytes <= capacity_);
   if (fill_ + bytes > capacity_) {
     ++full_hits_;
     return false;
@@ -39,6 +43,9 @@ int64_t BoundedBuffer::TryPop(int64_t bytes) {
 
 bool BoundedBuffer::TryPopExact(int64_t bytes) {
   RR_EXPECTS(bytes > 0);
+  // Mirror of the TryPush contract: an exact pop larger than the whole queue can
+  // never succeed, so a consumer would block on WaitForData forever.
+  RR_EXPECTS(bytes <= capacity_);
   if (fill_ < bytes) {
     ++empty_hits_;
     return false;

@@ -18,6 +18,9 @@ class BoundedBuffer {
  public:
   using WakeFn = std::function<void(ThreadId)>;
 
+  // capacity_bytes must be positive: a zero-capacity queue has no well-defined fill
+  // fraction (the controller's progress metric divides by capacity) and could never
+  // carry data, so construction rejects it outright.
   BoundedBuffer(QueueId id, std::string name, int64_t capacity_bytes);
 
   QueueId id() const { return id_; }
@@ -36,13 +39,19 @@ class BoundedBuffer {
   // Installed by the machine so queue state changes can wake blocked threads.
   void SetWakeFn(WakeFn fn) { wake_fn_ = std::move(fn); }
 
-  // Attempts to append `bytes`. Returns false (and changes nothing) if it doesn't fit.
-  // On success, wakes all waiting consumers.
+  // Attempts to append `bytes` (0 < bytes <= capacity; an item that exceeds the whole
+  // queue could never fit and would livelock a producer waiting for space, so it is a
+  // contract violation). Returns false (and changes nothing) if it doesn't fit right
+  // now — including the exactly-full case, where a push of precisely the remaining
+  // space still succeeds. On success, wakes all waiting consumers.
   bool TryPush(int64_t bytes);
   // Attempts to remove up to `bytes`; returns the number removed (0 when empty).
   // On any removal, wakes all waiting producers.
   int64_t TryPop(int64_t bytes);
-  // Removes exactly `bytes` or nothing. Returns whether it removed.
+  // Removes exactly `bytes` or nothing (0 < bytes <= capacity — the mirror of the
+  // TryPush contract: an exact request exceeding the whole queue could never be
+  // satisfied and would livelock a consumer waiting for data). Returns whether it
+  // removed.
   bool TryPopExact(int64_t bytes);
 
   // Registers the calling thread as waiting for space (producer) or data (consumer).

@@ -14,6 +14,7 @@
 //   core      — the feedback proportion allocator (the paper's contribution)
 //   workloads — producer/consumer, hogs, servers, interactive jobs
 //   exp       — wired System, Sampler, and the paper's experiment scenarios
+//   harness   — invariant oracle, seeded workload generator, differential runner
 //
 // Ownership: a System (exp/system.h) owns one machine's worth of everything; when
 // wiring by hand, construct Simulator → registries → schedulers → Machine →
@@ -37,6 +38,9 @@
 #include "exp/sampler.h"
 #include "exp/scenarios.h"
 #include "exp/system.h"
+#include "harness/differential.h"
+#include "harness/invariants.h"
+#include "harness/workload_gen.h"
 #include "queue/bounded_buffer.h"
 #include "queue/pipe.h"
 #include "queue/registry.h"

@@ -232,6 +232,9 @@ void Machine::Tick(CpuId core_id) {
 
   DispatchLoop(core, core_id, now, cycles_left);
 
+  if (checker_ != nullptr) {
+    checker_->OnTickComplete(*this, core_id, now);
+  }
   sim_.ScheduleAfter(config_.dispatch_interval, [this, core_id] { Tick(core_id); });
 }
 
@@ -255,6 +258,9 @@ void Machine::DispatchLoop(Core& core, CpuId core_id, TimePoint now, Cycles cycl
     if (pick == nullptr) {
       cpu.Charge(CpuUse::kIdle, cycles_left);
       return;
+    }
+    if (checker_ != nullptr) {
+      checker_->OnPicked(*this, core_id, pick, now);
     }
 
     if (pick != core.last_ran) {

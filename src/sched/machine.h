@@ -43,6 +43,23 @@
 
 namespace realrate {
 
+class Machine;
+
+// Observation interface for runtime invariant oracles (src/harness). The Machine
+// invokes an installed checker synchronously from inside the dispatch engine, so a
+// checker sees every scheduling decision at the instant it is made. Checkers must be
+// read-only observers: they may walk the machine, registry, and trace, but must not
+// mutate simulation state — installing one must leave the schedule bit-identical.
+class MachineChecker {
+ public:
+  virtual ~MachineChecker() = default;
+  // After `core`'s scheduler picked `pick` (never null) and before `pick` runs.
+  virtual void OnPicked(const Machine& machine, CpuId core, const SimThread* pick,
+                        TimePoint now) = 0;
+  // After `core`'s dispatch tick completed.
+  virtual void OnTickComplete(const Machine& machine, CpuId core, TimePoint now) = 0;
+};
+
 struct MachineConfig {
   // The dispatch interval (upper-bounded by the timer interval; 1 ms in the paper).
   Duration dispatch_interval = Duration::Millis(1);
@@ -77,8 +94,14 @@ class Machine {
   void Start();
 
   Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
   Scheduler& scheduler(CpuId core = 0) { return *CoreAt(core).scheduler; }
   ThreadRegistry& registry() { return registry_; }
+  const ThreadRegistry& registry() const { return registry_; }
+
+  // Installs (or clears, with nullptr) the invariant-oracle hook. The checker is
+  // borrowed and must outlive the machine or be cleared before destruction.
+  void SetChecker(MachineChecker* checker) { checker_ = checker; }
   const MachineConfig& config() const { return config_; }
   double dispatch_hz() const { return 1.0 / config_.dispatch_interval.ToSeconds(); }
   int num_cpus() const { return static_cast<int>(cores_.size()); }
@@ -193,6 +216,7 @@ class Machine {
 
   int64_t migrations_ = 0;
   bool started_ = false;
+  MachineChecker* checker_ = nullptr;
 };
 
 }  // namespace realrate

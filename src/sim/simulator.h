@@ -50,6 +50,7 @@ class Simulator {
   Cycles UsedAllCpus(CpuUse category) const;
 
   TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
 
   // Schedules `fn` at absolute time `t` (must not be in the past).
   EventId ScheduleAt(TimePoint t, EventQueue::Callback fn);

@@ -60,6 +60,49 @@ uint64_t TraceRecorder::Hash() const {
   return h;
 }
 
+std::string TraceRecorder::WellFormedError(size_t from) const {
+  char buf[160];
+  auto describe = [&buf](size_t i, const TraceEvent& e, const char* what) {
+    std::snprintf(buf, sizeof(buf), "trace event %zu (%s at %.6fs, thread %d): %s",
+                  i, realrate::ToString(e.kind), e.t.ToSeconds(), e.thread, what);
+    return std::string(buf);
+  };
+  for (size_t i = from; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i > 0 && e.t < events_[i - 1].t) {
+      return describe(i, e, "timestamp earlier than its predecessor");
+    }
+    if (e.thread < 0) {
+      return describe(i, e, "invalid thread id");
+    }
+    switch (e.kind) {
+      case TraceKind::kDispatch:
+        // Zero is legitimate: a thread that blocks the instant it is dispatched (e.g.
+        // a consumer finding its queue empty) consumes nothing.
+        if (e.arg0 < 0) {
+          return describe(i, e, "dispatch consumed a negative cycle count");
+        }
+        break;
+      case TraceKind::kAllocationSet:
+        if (e.arg0 < 0 || e.arg0 > Proportion::kFull) {
+          return describe(i, e, "allocation outside [0, 1000] ppt");
+        }
+        if (e.arg1 <= 0) {
+          return describe(i, e, "allocation with a non-positive period");
+        }
+        break;
+      case TraceKind::kMigrate:
+        if (e.arg0 < 0 || e.arg1 < 0 || e.arg0 == e.arg1) {
+          return describe(i, e, "migration between invalid or identical cores");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return "";
+}
+
 std::string TraceRecorder::ToString(size_t max_events) const {
   std::string out;
   char line[160];

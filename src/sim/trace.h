@@ -54,6 +54,14 @@ class TraceRecorder {
   // FNV-1a over the raw event stream; equal hashes <=> identical schedules.
   uint64_t Hash() const;
 
+  // Validates events [from, size()): timestamps non-decreasing (each event is also
+  // compared against its predecessor at from - 1), thread ids valid, dispatch cycle
+  // counts non-negative, allocations within [0, kFull] ppt, migrations between
+  // distinct cores.
+  // Returns a description of the first malformed event, or "" when well-formed. The
+  // invariant oracle calls this incrementally with the index it last validated up to.
+  std::string WellFormedError(size_t from = 0) const;
+
   std::string ToString(size_t max_events = 100) const;
 
  private:

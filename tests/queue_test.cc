@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "queue/bounded_buffer.h"
+#include "queue/pipe.h"
 #include "queue/registry.h"
 #include "queue/sim_mutex.h"
 #include "queue/tty.h"
@@ -88,6 +89,89 @@ TEST(BoundedBufferTest, FailedPushDoesNotWakeAnyone) {
   q.WaitForData(1);
   EXPECT_FALSE(q.TryPush(5));
   EXPECT_EQ(wakes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: zero-capacity queues, exactly-full writes, oversized items. The
+// contracts abort in every build type (util/assert.h), so violations are death
+// tests rather than status returns.
+// ---------------------------------------------------------------------------
+
+TEST(BoundedBufferEdgeTest, ZeroCapacityConstructionDies) {
+  EXPECT_DEATH(BoundedBuffer(0, "q", 0), "Precondition");
+  EXPECT_DEATH(BoundedBuffer(0, "q", -5), "Precondition");
+}
+
+TEST(BoundedBufferEdgeTest, ZeroCapacityPipeDies) {
+  QueueRegistry reg;
+  EXPECT_DEATH(SimPipe(reg, "p", 0), "Precondition");
+}
+
+TEST(BoundedBufferEdgeTest, NonPositiveOperationsDie) {
+  BoundedBuffer q(0, "q", 100);
+  EXPECT_DEATH(q.TryPush(0), "Precondition");
+  EXPECT_DEATH(q.TryPush(-1), "Precondition");
+  EXPECT_DEATH(q.TryPop(0), "Precondition");
+  EXPECT_DEATH(q.TryPopExact(-3), "Precondition");
+}
+
+TEST(BoundedBufferEdgeTest, PushLargerThanWholeQueueDies) {
+  // An item that exceeds the queue's total capacity could never fit; accepting the
+  // call would leave a producer blocked on WaitForSpace forever (silent livelock).
+  BoundedBuffer q(0, "q", 100);
+  EXPECT_DEATH(q.TryPush(101), "Precondition");
+}
+
+TEST(BoundedBufferEdgeTest, ExactPopLargerThanWholeQueueDies) {
+  // The consumer-side mirror: an exact request above capacity can never be
+  // satisfied, so a consumer would block on WaitForData forever.
+  BoundedBuffer q(0, "q", 100);
+  q.TryPush(100);
+  EXPECT_DEATH(q.TryPopExact(101), "Precondition");
+}
+
+TEST(BoundedBufferEdgeTest, ExactlyFullWriteSucceeds) {
+  BoundedBuffer q(0, "q", 100);
+  ASSERT_TRUE(q.TryPush(60));
+  // A push of precisely the remaining space is the boundary case: it must succeed
+  // and leave the queue exactly full, not be rejected as an overflow.
+  EXPECT_TRUE(q.TryPush(40));
+  EXPECT_TRUE(q.Full());
+  EXPECT_EQ(q.fill(), 100);
+  EXPECT_DOUBLE_EQ(q.FillFraction(), 1.0);
+  EXPECT_DOUBLE_EQ(q.PressureMetric(), 0.5);
+  EXPECT_EQ(q.full_hits(), 0);  // The exact fit is not a saturation event...
+  EXPECT_FALSE(q.TryPush(1));
+  EXPECT_EQ(q.full_hits(), 1);  // ...but the next byte is.
+}
+
+TEST(BoundedBufferEdgeTest, WholeQueueSizedItemRoundTrips) {
+  BoundedBuffer q(0, "q", 100);
+  EXPECT_TRUE(q.TryPush(100));  // bytes == capacity: the largest legal item.
+  EXPECT_TRUE(q.Full());
+  EXPECT_TRUE(q.TryPopExact(100));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_TRUE(q.TryPush(100));  // And it fits again after draining.
+}
+
+TEST(BoundedBufferEdgeTest, ExactFillPopBoundary) {
+  BoundedBuffer q(0, "q", 100);
+  q.TryPush(30);
+  EXPECT_TRUE(q.TryPopExact(30));  // bytes == fill: boundary success.
+  EXPECT_TRUE(q.Empty());
+  q.TryPush(30);
+  EXPECT_EQ(q.TryPop(30), 30);  // Same boundary through the clamping pop.
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BoundedBufferEdgeTest, ExactlyFullWriteWakesWaitingConsumers) {
+  BoundedBuffer q(0, "q", 100);
+  std::vector<ThreadId> woken;
+  q.SetWakeFn([&](ThreadId t) { woken.push_back(t); });
+  q.TryPush(60);
+  q.WaitForData(9);
+  EXPECT_TRUE(q.TryPush(40));  // The filling write must still wake consumers.
+  EXPECT_EQ(woken, (std::vector<ThreadId>{9}));
 }
 
 TEST(QueueRegistryTest, RegisterAndQuery) {
