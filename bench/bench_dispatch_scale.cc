@@ -1,0 +1,206 @@
+// Dispatch hot-path scaling: the indexed run queues (sched/rbs.h) against the
+// reference build (O(n) goodness scan + O(n) per-tick replenish sweep, no index
+// maintenance). Not a paper figure — the paper's machine runs tens of threads — but
+// the ROADMAP's production-scale demand: thousands of pipeline threads dispatched as
+// fast as the host allows. Both builds simulate the *identical* schedule (the farm
+// trace pins and the shadow-scheduler fuzz mode hold them bit-equal), so every ratio
+// below is pure hot-path cost, not behavior drift.
+//
+// Two measurements:
+//   1. Dispatcher primitive: PickNext throughput on one run queue holding 1024
+//      threads (a handful runnable, the rest blocked — the farm steady state). The
+//      reference scan touches every thread per pick; the indexed pick reads the head
+//      of the ordered index. This is the >= 5x headline number, and the regression
+//      gate CI checks against BENCH_dispatch_baseline.json.
+//   2. End-to-end: wall-clock dispatch throughput of RunServerFarmScenario, where
+//      pick cost is diluted by real work (grants, queues, controller) across
+//      per-core run queues — the honest system-level win.
+//
+// The `DISPATCH_SCALE ...` line is machine-readable: scripts/check_dispatch_scale.py
+// compares it against the committed BENCH_dispatch_baseline.json in CI and fails on
+// a > 2x throughput regression at 1024 threads.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "exp/scenarios.h"
+#include "sched/rbs.h"
+#include "sim/simulator.h"
+#include "task/registry.h"
+#include "util/assert.h"
+#include "workloads/misc_work.h"
+
+namespace realrate {
+namespace {
+
+// One run queue with `total` reserved threads, `runnable` of them dispatchable (the
+// rest blocked), periods cycled so the rate-monotonic index carries many ranks.
+struct PickRig {
+  Simulator sim;
+  ThreadRegistry threads;
+  RbsScheduler rbs;
+
+  PickRig(bool indexed, int total, int runnable)
+      : rbs(sim.cpu(), RbsConfig{.use_indexed_pick = indexed}) {
+    for (int i = 0; i < total; ++i) {
+      SimThread* t = threads.Create("t" + std::to_string(i), std::make_unique<CpuHogWork>());
+      rbs.AddThread(t);
+      rbs.SetReservation(t, Proportion::Ppt(1), Duration::Millis(5 + i % 28), sim.Now());
+      if (i >= runnable) {
+        t->set_state(ThreadState::kBlocked);
+        rbs.OnBlock(t, sim.Now());
+      }
+    }
+  }
+};
+
+// PickNext calls per wall-second at `total` threads.
+double MeasurePickThroughput(bool indexed, int total, int64_t iterations) {
+  PickRig rig(indexed, total, /*runnable=*/32);
+  const TimePoint now = rig.sim.Now();
+  SimThread* witness = rig.rbs.PickNext(now);
+  RR_CHECK(witness != nullptr);
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < iterations; ++i) {
+    benchmark::DoNotOptimize(rig.rbs.PickNext(now));
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return static_cast<double>(iterations) / wall;
+}
+
+// threads = 2 * pipelines + hogs; hogs keep every core busy so dispatch picks, not
+// idle fast-forward, dominate the end-to-end measurement.
+ServerFarmParams ParamsForThreads(int threads, int cpus, bool indexed) {
+  ServerFarmParams params;
+  params.num_cpus = cpus;
+  params.num_hogs = cpus;
+  params.num_pipelines = (threads - params.num_hogs) / 2;
+  params.run_for = Duration::Millis(400);
+  params.rbs.use_indexed_pick = indexed;
+  return params;
+}
+
+struct Measured {
+  ServerFarmResult result;
+  double wall_s = 0.0;
+  double dispatch_per_wsec() const {
+    return static_cast<double>(result.total_dispatches) / wall_s;
+  }
+};
+
+Measured Measure(const ServerFarmParams& params) {
+  const auto start = std::chrono::steady_clock::now();
+  Measured m;
+  m.result = RunServerFarmScenario(params);
+  m.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return m;
+}
+
+void PrintDispatchScale() {
+  bench::PrintHeader(
+      "Dispatch primitive: PickNext throughput on one run queue (32 runnable)\n"
+      "indexed ordered-index head vs reference O(n) goodness scan");
+  std::printf("  %8s %18s %18s %9s\n", "threads", "indexed pick/ws", "reference pick/ws",
+              "speedup");
+  double pick_speedup_1024 = 0.0;
+  double pick_indexed_1024 = 0.0;
+  double pick_reference_1024 = 0.0;
+  for (int total : {128, 256, 512, 1024, 2048}) {
+    const double indexed = MeasurePickThroughput(true, total, 2'000'000);
+    const double reference = MeasurePickThroughput(false, total, 200'000);
+    std::printf("  %8d %18.0f %18.0f %8.2fx\n", total, indexed, reference,
+                indexed / reference);
+    if (total == 1024) {
+      pick_speedup_1024 = indexed / reference;
+      pick_indexed_1024 = indexed;
+      pick_reference_1024 = reference;
+    }
+  }
+
+  bench::PrintHeader(
+      "End-to-end: server farm, 8 cores, 400 ms virtual time\n"
+      "throughput = dispatches / wall-second (pick cost diluted by real work)");
+  std::printf("  %8s %18s %18s %9s %14s\n", "thrxcpu", "indexed disp/ws",
+              "reference disp/ws", "speedup", "trace equal");
+  double farm_speedup_1024 = 0.0;
+  double farm_indexed_1024 = 0.0;
+  for (const auto& [threads, cpus] : {std::pair{128, 8}, {512, 8}, {1024, 8}, {1024, 2}}) {
+    ServerFarmParams indexed_params = ParamsForThreads(threads, cpus, /*indexed=*/true);
+    ServerFarmParams reference_params = ParamsForThreads(threads, cpus, /*indexed=*/false);
+    if (cpus == 2) {
+      // High per-core density (512 threads per run queue): smaller reservations so
+      // the farm still fits two cores' fixed budgets.
+      indexed_params.producer_proportion = Proportion::Ppt(2);
+      reference_params.producer_proportion = Proportion::Ppt(2);
+    }
+    const Measured indexed = Measure(indexed_params);
+    const Measured reference = Measure(reference_params);
+    const double ratio = indexed.dispatch_per_wsec() / reference.dispatch_per_wsec();
+    const bool equal = indexed.result.trace_hash == reference.result.trace_hash;
+    std::printf("  %5dx%d %18.0f %18.0f %8.2fx %14s\n", threads, cpus,
+                indexed.dispatch_per_wsec(), reference.dispatch_per_wsec(), ratio,
+                equal ? "yes" : "NO!");
+    if (threads == 1024 && cpus == 8) {
+      farm_speedup_1024 = ratio;
+      farm_indexed_1024 = indexed.dispatch_per_wsec();
+    }
+  }
+
+  std::printf("\n  1024-thread PickNext speedup: %.1fx; end-to-end farm speedup: %.2fx\n",
+              pick_speedup_1024, farm_speedup_1024);
+  // Machine-readable line for scripts/check_dispatch_scale.py (CI regression gate).
+  std::printf("DISPATCH_SCALE threads=1024 pick_indexed_per_wsec=%.0f "
+              "pick_reference_per_wsec=%.0f pick_speedup=%.2f "
+              "farm_indexed_dispatch_per_wsec=%.0f farm_speedup=%.3f\n\n",
+              pick_indexed_1024, pick_reference_1024, pick_speedup_1024,
+              farm_indexed_1024, farm_speedup_1024);
+}
+
+template <bool kIndexed>
+void BM_PickNext(benchmark::State& state) {
+  const int total = static_cast<int>(state.range(0));
+  PickRig rig(kIndexed, total, /*runnable=*/32);
+  const TimePoint now = rig.sim.Now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.rbs.PickNext(now));
+  }
+  state.counters["threads"] = total;
+}
+void BM_PickNextIndexed(benchmark::State& state) { BM_PickNext<true>(state); }
+void BM_PickNextReference(benchmark::State& state) { BM_PickNext<false>(state); }
+BENCHMARK(BM_PickNextIndexed)->Arg(128)->Arg(1024)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_PickNextReference)->Arg(128)->Arg(1024)->Unit(benchmark::kNanosecond);
+
+template <bool kIndexed>
+void BM_DispatchScaleFarm(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ServerFarmParams params = ParamsForThreads(threads, 8, kIndexed);
+  params.run_for = Duration::Millis(200);
+  Measured last;
+  for (auto _ : state) {
+    last = Measure(params);
+    benchmark::DoNotOptimize(last.result.total_dispatches);
+  }
+  state.counters["threads"] = threads;
+  state.counters["dispatch_per_wsec"] = last.dispatch_per_wsec();
+  state.counters["dispatch_per_vsec"] = last.result.dispatch_per_vsec;
+}
+void BM_FarmIndexed(benchmark::State& state) { BM_DispatchScaleFarm<true>(state); }
+void BM_FarmReference(benchmark::State& state) { BM_DispatchScaleFarm<false>(state); }
+BENCHMARK(BM_FarmIndexed)->Arg(128)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FarmReference)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace realrate
+
+int main(int argc, char** argv) {
+  realrate::PrintDispatchScale();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI regression gate for the dispatch hot path.
+
+Runs bench_dispatch_scale, parses its machine-readable `DISPATCH_SCALE ...` line,
+and fails when either:
+  - indexed PickNext throughput at 1024 threads fell more than 2x below the
+    committed baseline (BENCH_dispatch_baseline.json), or
+  - the indexed-vs-reference PickNext speedup at 1024 threads dropped below the
+    5x bar the optimization is pinned to.
+
+The 2x tolerance absorbs CI-runner speed variance; a real algorithmic regression
+(the indexed pick degenerating back to a scan) overshoots it by orders of
+magnitude. Refresh the baseline with:
+  scripts/check_dispatch_scale.py BUILD_DIR --write-baseline
+"""
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO / "BENCH_dispatch_baseline.json"
+MIN_SPEEDUP = 5.0
+MAX_REGRESSION = 2.0
+
+
+def run_bench(build_dir: pathlib.Path) -> dict:
+    bench = build_dir / "bench" / "bench_dispatch_scale"
+    if not bench.exists():
+        sys.exit(f"error: {bench} not found — build bench_dispatch_scale first")
+    out = subprocess.run([str(bench), "--benchmark_min_time=0.01s"],
+                         check=True, capture_output=True, text=True).stdout
+    match = re.search(r"^DISPATCH_SCALE (.*)$", out, re.M)
+    if not match:
+        sys.exit("error: bench output has no DISPATCH_SCALE line")
+    fields = dict(kv.split("=", 1) for kv in match.group(1).split())
+    return {k: float(v) for k, v in fields.items()}
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    build_dir = pathlib.Path(args[0]) if args else REPO / "build"
+    measured = run_bench(build_dir)
+
+    if "--write-baseline" in sys.argv:
+        BASELINE.write_text(json.dumps(measured, indent=2, sort_keys=True) + "\n")
+        print(f"[check_dispatch_scale] wrote {BASELINE}")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text())
+    failures = []
+    key = "pick_indexed_per_wsec"
+    floor = baseline[key] / MAX_REGRESSION
+    if measured[key] < floor:
+        failures.append(
+            f"{key} = {measured[key]:.0f} is more than {MAX_REGRESSION}x below the "
+            f"baseline {baseline[key]:.0f} (floor {floor:.0f})")
+    if measured["pick_speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"pick_speedup = {measured['pick_speedup']:.2f}x at 1024 threads is below "
+            f"the pinned {MIN_SPEEDUP}x bar")
+
+    print(f"[check_dispatch_scale] measured: {measured}")
+    print(f"[check_dispatch_scale] baseline: {baseline}")
+    if failures:
+        for failure in failures:
+            print(f"[check_dispatch_scale] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[check_dispatch_scale] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,12 @@ void FeedbackAllocator::WireScheduler(RbsScheduler& rbs) {
   rbs.SetDeadlineMissFn([this](SimThread* t, Cycles shortfall, TimePoint now) {
     OnDeadlineMiss(t, shortfall, now);
   });
+  schedulers_.push_back(&rbs);
+}
+
+RbsScheduler& FeedbackAllocator::SchedulerFor(const SimThread* thread) {
+  const auto core = static_cast<size_t>(thread->cpu());
+  return core < schedulers_.size() ? *schedulers_[core] : rbs_;
 }
 
 void FeedbackAllocator::Start() {
@@ -122,7 +128,7 @@ bool FeedbackAllocator::AddRealTime(SimThread* thread, Proportion proportion, Du
   c.fixed_fraction = request;
   c.desired = c.granted = request;
   thread->set_thread_class(ThreadClass::kRealTime);
-  rbs_.SetReservation(thread, proportion, period, machine_.sim().Now());
+  SchedulerFor(thread).SetReservation(thread, proportion, period, machine_.sim().Now());
   machine_.sim().trace().Record(machine_.sim().Now(), TraceKind::kAdmitted, thread->id(),
                                 proportion.ppt());
   controlled_.push_back(std::move(c));
@@ -147,7 +153,7 @@ bool FeedbackAllocator::AddAperiodicRealTime(SimThread* thread, Proportion propo
   c.fixed_fraction = request;
   c.desired = c.granted = request;
   thread->set_thread_class(ThreadClass::kAperiodicRealTime);
-  rbs_.SetReservation(thread, proportion, c.period, machine_.sim().Now());
+  SchedulerFor(thread).SetReservation(thread, proportion, c.period, machine_.sim().Now());
   machine_.sim().trace().Record(machine_.sim().Now(), TraceKind::kAdmitted, thread->id(),
                                 proportion.ppt());
   controlled_.push_back(std::move(c));
@@ -260,7 +266,7 @@ void FeedbackAllocator::SampleAndEstimate(Controlled& c, double dt, TimePoint no
   c.desired = c.estimator->Step(c.last_pressure, used_fraction, c.granted, dt);
 
   if (c.cls == ThreadClass::kRealRate && config_.enable_period_estimation) {
-    const auto linkages = queues_.LinkagesFor(c.thread->id());
+    const auto& linkages = queues_.LinkagesFor(c.thread->id());
     if (!linkages.empty()) {
       c.fill_window->Push(linkages.front().queue->FillFraction());
     }
@@ -303,7 +309,7 @@ void FeedbackAllocator::CheckQuality(Controlled& c, TimePoint now) {
 
   // Gather this interval's saturation evidence regardless of gating so the hit
   // counters stay current.
-  const auto linkages = queues_.LinkagesFor(c.thread->id());
+  const auto& linkages = queues_.LinkagesFor(c.thread->id());
   c.last_full_hits.resize(linkages.size(), 0);
   c.last_empty_hits.resize(linkages.size(), 0);
   BoundedBuffer* saturated = nullptr;
@@ -355,7 +361,7 @@ void FeedbackAllocator::Actuate(Controlled& c, double fraction, TimePoint now) {
       c.thread->period() == c.period) {
     return;  // No change; avoid perturbing the budget.
   }
-  rbs_.SetReservation(c.thread, p, c.period, now);
+  SchedulerFor(c.thread).SetReservation(c.thread, p, c.period, now);
   machine_.sim().trace().Record(now, TraceKind::kAllocationSet, c.thread->id(), p.ppt(),
                                 c.period.nanos());
   // A thread sleeping out an exhausted budget deserves to run again if the controller
@@ -367,6 +373,10 @@ void FeedbackAllocator::Actuate(Controlled& c, double fraction, TimePoint now) {
 
 void FeedbackAllocator::RunOnce(TimePoint now) {
   ++invocations_;
+  // If the machine's dispatch clocks are idle-suspended, settle the elided ticks
+  // before sampling or actuating: budgets and period phases must read exactly as a
+  // continuously ticking machine would present them at this instant.
+  machine_.SyncSkippedTicks(now);
   const double dt = config_.interval.ToSeconds();
 
   // Drop exited threads.

@@ -88,8 +88,11 @@ class FeedbackAllocator {
   void Start();
 
   // Wires deadline-miss feedback from an additional per-core RbsScheduler to this
-  // controller (the constructor wires the primary one). System calls this for cores
-  // 1..N-1 when building an SMP machine.
+  // controller (the constructor wires the primary one) and registers it as the next
+  // core's actuation target. System calls this for cores 1..N-1, in core order, when
+  // building an SMP machine — actuation must go through the scheduler that owns the
+  // thread's run queue, because the indexed dispatch structures (sched/rbs.h) are
+  // maintained by the owning instance's hooks.
   void WireScheduler(RbsScheduler& rbs);
 
   // --- Registration: the Figure 2 taxonomy ---
@@ -160,6 +163,10 @@ class FeedbackAllocator {
   };
 
   void ScheduleNext();
+  // The scheduler owning `thread`'s run queue (by core affinity). Falls back to the
+  // primary scheduler when the thread's core was never wired — the single-scheduler
+  // rigs some unit tests build.
+  RbsScheduler& SchedulerFor(const SimThread* thread);
   // The paper's admission test against the thread's core's fixed budget; if that
   // core would reject but the least fixed-loaded core would accept (SMP only), the
   // thread migrates there first.
@@ -175,6 +182,9 @@ class FeedbackAllocator {
 
   Machine& machine_;
   RbsScheduler& rbs_;
+  // Actuation targets in core order (schedulers_[core] serves core `core`): the
+  // constructor registers `rbs_` as core 0, WireScheduler appends the rest.
+  std::vector<RbsScheduler*> schedulers_;
   QueueRegistry& queues_;
   ControllerConfig config_;
   double overload_threshold_;

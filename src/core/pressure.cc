@@ -12,10 +12,8 @@ double LinkagePressure(const QueueLinkage& linkage) {
 
 double RawPressure(const QueueRegistry& registry, ThreadId thread) {
   double sum = 0.0;
-  for (const QueueLinkage& l : registry.linkages()) {
-    if (l.thread == thread) {
-      sum += LinkagePressure(l);
-    }
+  for (const QueueLinkage& l : registry.LinkagesFor(thread)) {
+    sum += LinkagePressure(l);
   }
   return sum;
 }

@@ -326,7 +326,7 @@ PathfinderResult RunPathfinderScenario(SchedulerKind kind, Duration run_for,
   rig.machine->Attach(high);
 
   rig.machine->Start();
-  rig.sim.RunFor(run_for);
+  rig.machine->RunFor(run_for);
   return ExtractPathfinderResult(rig.sim, low, medium, high, run_for);
 }
 
@@ -357,7 +357,7 @@ StarvationResult RunStarvationScenario(SchedulerKind kind, double importance_rat
     rig.machine->Attach(favored);
     rig.machine->Attach(lesser);
     rig.machine->Start();
-    rig.sim.RunFor(run_for);
+    rig.machine->RunFor(run_for);
     const auto total = static_cast<double>(rig.sim.cpu().DurationToCycles(run_for));
     result.favored_cpu = static_cast<double>(favored->total_cycles()) / total;
     result.lesser_cpu = static_cast<double>(lesser->total_cycles()) / total;
@@ -423,6 +423,74 @@ SmpResult RunSmpPipelinesScenario(const SmpParams& params) {
   }
   result.quality_exceptions = system.controller().quality_exceptions();
   result.squish_events = system.controller().squish_events();
+  result.trace_hash = system.sim().trace().Hash();
+  return result;
+}
+
+ServerFarmResult RunServerFarmScenario(const ServerFarmParams& params) {
+  RR_EXPECTS(params.num_cpus >= 1);
+  RR_EXPECTS(params.num_pipelines >= 1);
+  RR_EXPECTS(params.num_hogs >= 0);
+  // Period spread: many distinct rate-monotonic ranks (and EDF deadlines) so the
+  // indexed run queues are exercised with real ordering work, not one bucket.
+  static constexpr int64_t kPeriodSpreadMs[] = {5, 8, 10, 12, 16, 20, 25, 32, 40};
+  constexpr size_t kSpread = sizeof(kPeriodSpreadMs) / sizeof(kPeriodSpreadMs[0]);
+
+  SystemConfig config;
+  config.num_cpus = params.num_cpus;
+  config.cpu.clock_hz = params.clock_hz;
+  config.rbs = params.rbs;
+  config.machine.idle_fast_forward = params.idle_fast_forward;
+  System system(config);
+  system.sim().trace().SetEnabled(true);
+
+  std::vector<SimThread*> consumers;
+  consumers.reserve(static_cast<size_t>(params.num_pipelines));
+  for (int i = 0; i < params.num_pipelines; ++i) {
+    const std::string tag = std::to_string(i);
+    BoundedBuffer* queue = system.CreateQueue("farm" + tag, params.queue_bytes);
+    SimThread* producer = system.Spawn(
+        "producer" + tag,
+        std::make_unique<ProducerWork>(queue, params.producer_cycles_per_item,
+                                       RateSchedule(params.bytes_per_item)));
+    SimThread* consumer = system.Spawn(
+        "consumer" + tag,
+        std::make_unique<ConsumerWork>(queue, params.consumer_cycles_per_byte));
+    system.queues().Register(queue, producer->id(), QueueRole::kProducer);
+    system.queues().Register(queue, consumer->id(), QueueRole::kConsumer);
+    const Duration period =
+        Duration::Millis(kPeriodSpreadMs[static_cast<size_t>(i) % kSpread]);
+    RR_CHECK(system.controller().AddRealTime(producer, params.producer_proportion, period));
+    system.controller().AddRealRate(consumer);
+    consumers.push_back(consumer);
+  }
+  for (int i = 0; i < params.num_hogs; ++i) {
+    SimThread* hog = system.Spawn("hog" + std::to_string(i), std::make_unique<CpuHogWork>());
+    system.controller().AddMiscellaneous(hog);
+  }
+
+  system.Start();
+  system.RunFor(params.run_for);
+
+  ServerFarmResult result;
+  result.num_cpus = params.num_cpus;
+  result.num_threads = 2 * params.num_pipelines + params.num_hogs;
+  result.total_dispatches = system.machine().dispatches();
+  result.dispatch_per_vsec =
+      static_cast<double>(result.total_dispatches) / params.run_for.ToSeconds();
+  result.context_switches = system.machine().context_switches();
+  result.migrations = system.machine().migrations();
+  result.idle_suspensions = system.machine().idle_suspensions();
+  const auto per_core_capacity =
+      static_cast<double>(system.sim().cpu().DurationToCycles(params.run_for));
+  result.aggregate_user_fraction =
+      static_cast<double>(system.sim().UsedAllCpus(CpuUse::kUser)) /
+      (per_core_capacity * params.num_cpus);
+  for (const SimThread* consumer : consumers) {
+    result.total_consumed_bytes += consumer->progress_units();
+  }
+  result.squish_events = system.controller().squish_events();
+  result.quality_exceptions = system.controller().quality_exceptions();
   result.trace_hash = system.sim().trace().Hash();
   return result;
 }

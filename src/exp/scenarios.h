@@ -223,6 +223,61 @@ struct SmpResult {
 SmpResult RunSmpPipelinesScenario(const SmpParams& params);
 
 // ---------------------------------------------------------------------------
+// Server farm: hundreds to thousands of pipeline threads on a few cores — the
+// production-scale workload the indexed dispatch hot path (sched/rbs.h) and the
+// Machine's idle fast-forward exist for.
+// ---------------------------------------------------------------------------
+
+// `num_pipelines` producer → consumer pairs plus `num_hogs` background soakers on a
+// `num_cpus`-core machine. Producers hold small real-time reservations with periods
+// cycled through a spread of values (so the rate-monotonic index carries many
+// distinct ranks); consumers are real-rate under the feedback controller; hogs are
+// miscellaneous. Thread count = 2 * num_pipelines + num_hogs. The default clock
+// models a modern server core rather than the paper's 400 MHz testbed, keeping the
+// per-10 ms controller pass (which is O(threads)) a realistic fraction of a core.
+struct ServerFarmParams {
+  int num_cpus = 4;
+  int num_pipelines = 256;
+  int num_hogs = 4;
+  double clock_hz = 2.4e9;
+
+  Proportion producer_proportion = Proportion::Ppt(4);
+  Cycles producer_cycles_per_item = 60'000;
+  double bytes_per_item = 64.0;
+  Cycles consumer_cycles_per_byte = 400;
+  int64_t queue_bytes = 2'048;
+  // Producer period for pipeline i: kPeriodSpreadMs[i % spread] milliseconds.
+  // (See scenarios.cc; 5..40 ms.)
+
+  Duration run_for = Duration::Millis(500);
+
+  // Scheduler/machine hot-path knobs, exposed so bench_dispatch_scale can A/B the
+  // indexed pick against the reference scan (and fast-forward on/off) on the same
+  // workload. Defaults are the production configuration.
+  RbsConfig rbs;
+  bool idle_fast_forward = true;
+};
+
+struct ServerFarmResult {
+  int num_cpus = 0;
+  int num_threads = 0;
+  // Aggregate dispatcher activity over the run: schedule() invocations, and the rate
+  // per virtual second — the bench_dispatch_scale scaling metric.
+  int64_t total_dispatches = 0;
+  double dispatch_per_vsec = 0.0;
+  int64_t context_switches = 0;
+  int64_t migrations = 0;
+  int64_t idle_suspensions = 0;
+  double aggregate_user_fraction = 0.0;
+  int64_t total_consumed_bytes = 0;
+  int64_t squish_events = 0;
+  int64_t quality_exceptions = 0;
+  uint64_t trace_hash = 0;
+};
+
+ServerFarmResult RunServerFarmScenario(const ServerFarmParams& params);
+
+// ---------------------------------------------------------------------------
 // §4.4: the media pipeline whose decoder stage needs far more CPU than the rest.
 // ---------------------------------------------------------------------------
 

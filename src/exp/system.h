@@ -58,7 +58,9 @@ class System {
 
   // Starts machine (and controller unless disabled). Call once, then RunFor().
   void Start();
-  void RunFor(Duration d) { sim_->RunFor(d); }
+  // Routed through the Machine so idle-fast-forward catch-up settles at the end of
+  // each run segment (counters and accounting then read as if every tick ran).
+  void RunFor(Duration d) { machine_->RunFor(d); }
 
  private:
   std::unique_ptr<Simulator> sim_;

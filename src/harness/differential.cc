@@ -157,6 +157,8 @@ RunOutcome RunWorkload(const WorkloadSpec& spec, const RunOptions& options) {
     config.num_cpus = num_cpus;
     config.cpu.clock_hz = spec.clock_hz * options.clock_multiplier;
     config.rbs.work_conserving = options.rbs_work_conserving;
+    config.rbs.shadow_check = options.rbs_shadow_check;
+    config.machine.idle_fast_forward = options.machine_idle_fast_forward;
     System system(config);
     system.sim().trace().SetEnabled(true);
     oracle.Observe(system);
@@ -167,6 +169,9 @@ RunOutcome RunWorkload(const WorkloadSpec& spec, const RunOptions& options) {
     oracle.FinishRun(system.machine(), system.sim().Now());
     FillOutcome(outcome, system.sim(), system.machine(), system.threads(), oracle, spec,
                 options);
+    for (CpuId core = 0; core < system.num_cpus(); ++core) {
+      outcome.shadow_checks += system.rbs(core).shadow_checks();
+    }
     return outcome;
   }
 
@@ -176,6 +181,8 @@ RunOutcome RunWorkload(const WorkloadSpec& spec, const RunOptions& options) {
   CpuConfig cpu_config;
   cpu_config.clock_hz = spec.clock_hz * options.clock_multiplier;
   Simulator sim(cpu_config, num_cpus);
+  MachineConfig machine_config;
+  machine_config.idle_fast_forward = options.machine_idle_fast_forward;
   ThreadRegistry threads;
   QueueRegistry queues;
   std::vector<std::unique_ptr<Scheduler>> schedulers;
@@ -186,12 +193,12 @@ RunOutcome RunWorkload(const WorkloadSpec& spec, const RunOptions& options) {
         DeriveSeed(spec.seed, 0x10c0 + static_cast<uint64_t>(core))));
     raw.push_back(schedulers.back().get());
   }
-  Machine machine(sim, std::move(raw), threads, MachineConfig{});
+  Machine machine(sim, std::move(raw), threads, machine_config);
   sim.trace().SetEnabled(true);
   oracle.Observe(machine, &queues);
   BuildWorkload(spec, threads, queues, machine, /*controller=*/nullptr);
   machine.Start();
-  sim.RunFor(run_for);
+  machine.RunFor(run_for);
   oracle.FinishRun(machine, sim.Now());
   FillOutcome(outcome, sim, machine, threads, oracle, spec, options);
   return outcome;
@@ -227,10 +234,14 @@ SeedReport CheckSeed(uint64_t seed, const SeedCheckOptions& options) {
     }
   };
 
-  // 1. Invariant battery: the spec as generated, under every scheduler.
+  // 1. Invariant battery: the spec as generated, under every scheduler. The feedback
+  // run doubles as the shadow-scheduler pass: every dispatch asserts the indexed
+  // pick equals the reference O(n) scan pick (a mismatch aborts, which the CTest
+  // harness reports against this seed).
   for (const SchedulerKind kind : kAllKinds) {
     RunOptions run;
     run.kind = kind;
+    run.rbs_shadow_check = kind == SchedulerKind::kFeedbackRbs;
     run.collect_trace_dump = options.collect_trace_dump;
     note_violations(RunWorkload(spec, run), Label("invariants", kind));
   }
@@ -333,23 +344,51 @@ SeedReport CheckSeed(uint64_t seed, const SeedCheckOptions& options) {
     }
   }
 
-  // 4. Seed stability: on one core the whole simulation is a deterministic function
-  // of the seed — two runs must produce bit-identical traces, for every scheduler.
+  // 4. Seed stability + idle fast-forward equivalence: on one core the whole
+  // simulation is a deterministic function of the seed, and skipping empty dispatch
+  // ticks is defined to be behavior-preserving — so a run with fast-forward on and a
+  // run with it off must produce bit-identical traces, for every scheduler. (This
+  // subsumes plain two-run determinism: RunsAreReplayableFromTheSeed covers the
+  // identical-options pair in tests/harness_test.cc.)
+  // The pair normally runs on one core (the historically pinned configuration), but
+  // a high-thread-count spec cannot be squeezed onto one core without violating the
+  // generator's feasibility guarantee: the controller's per-thread allocation floor
+  // times hundreds of adaptive threads exceeds the core outright. Such specs run at
+  // their own (deterministic all the same) width. The threshold derives from the
+  // same controller defaults RunWorkload builds with: the floors must fit in half
+  // the admission budget, leaving the other half for fixed reservations and growth.
+  int adaptive_threads = static_cast<int>(spec.hogs.size());
+  for (const PipelineSpec& p : spec.pipelines) {
+    adaptive_threads += 1 + static_cast<int>(p.stages.size());  // Stages + consumer.
+  }
+  const ControllerConfig controller_defaults;
+  const double floor_sum =
+      adaptive_threads * controller_defaults.estimator.min_fraction;
+  const int stability_cpus =
+      floor_sum > controller_defaults.overload_threshold / 2 ? spec.num_cpus : 1;
   for (const SchedulerKind kind : kAllKinds) {
     RunOptions uni;
     uni.kind = kind;
-    uni.num_cpus_override = 1;
+    uni.num_cpus_override = stability_cpus;
     uni.run_for_override = Duration::Millis(400);
     uni.collect_trace_dump = options.collect_trace_dump;
+    RunOptions no_ff = uni;
+    no_ff.machine_idle_fast_forward = false;
     const RunOutcome first = RunWorkload(spec, uni);
-    const RunOutcome second = RunWorkload(spec, uni);
+    const RunOutcome second = RunWorkload(spec, no_ff);
     // These runs double as the battery's only 1-CPU invariant coverage for specs
     // generated with more cores (both runs violate identically, so check one).
-    note_violations(first, Label("invariants [cpus=1]", kind));
+    note_violations(first, Label("invariants [stability width]", kind));
     if (first.trace_hash != second.trace_hash ||
-        first.total_progress != second.total_progress) {
-      report.failures.push_back(Label("seed stability", kind) +
-                                ": two cpus=1 runs of the same seed diverged");
+        first.total_progress != second.total_progress ||
+        first.dispatches != second.dispatches ||
+        first.user_cycles != second.user_cycles) {
+      report.failures.push_back(
+          Label("fast-forward equivalence", kind) +
+          ": runs with idle fast-forward on/off diverged (hash " +
+          std::to_string(first.trace_hash) + " vs " + std::to_string(second.trace_hash) +
+          ", dispatches " + std::to_string(first.dispatches) + " vs " +
+          std::to_string(second.dispatches) + ")");
     }
   }
 

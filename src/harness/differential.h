@@ -40,6 +40,14 @@ struct RunOptions {
   // core-monotonicity check, whose throughput claim is demand-bound, not
   // allocation-ramp-bound.
   bool rbs_work_conserving = false;
+  // Feedback machine only: shadow-scheduler mode — every dispatch computes both the
+  // indexed pick and the reference O(n) scan pick and asserts they agree (see
+  // RbsConfig::shadow_check).
+  bool rbs_shadow_check = false;
+  // Machine idle fast-forward (skip runs of empty dispatch ticks). On by default,
+  // like the production configuration; the metamorphic battery re-runs with it off
+  // and demands a bit-identical trace.
+  bool machine_idle_fast_forward = true;
   // Fill RunOutcome::trace_dump when the oracle records violations.
   bool collect_trace_dump = false;
   OracleConfig oracle;
@@ -53,6 +61,10 @@ struct RunOutcome {
   Cycles cycles_per_tick = 0;   // One core's dispatch-interval capacity.
   int64_t total_progress = 0;   // Σ progress_units over every thread.
   int64_t dispatches = 0;
+  // Feedback runs only: dispatches that executed the shadow comparison (indexed pick
+  // asserted equal to the reference scan pick), summed over cores. Zero unless
+  // RunOptions::rbs_shadow_check.
+  int64_t shadow_checks = 0;
   int64_t violation_count = 0;
   std::vector<std::string> violations;  // Recorded subset (see OracleConfig).
   std::string trace_dump;               // Only when collect_trace_dump and violations.

@@ -82,6 +82,32 @@ WorkloadSpec GenerateWorkload(uint64_t seed) {
   spec.clock_hz = 400e6;
   spec.run_for = Duration::Millis(300 + static_cast<int64_t>(rng.NextBounded(500)));
 
+  // High-thread-count bucket (~1 seed in 10): a server-farm style machine with 512+
+  // threads of short two-stage pipelines, so fuzzing exercises the indexed dispatch
+  // path (many reserved threads, diverse period ranks) at scale. Short horizon keeps
+  // the differential battery affordable. Reservations stay tiny so the machine-wide
+  // 45% fixed budget holds: ≤ 360 producers × ≤ 4 ppt = 1.44 < 0.45 × 4 cores.
+  if (rng.NextBool(0.1)) {
+    spec.num_cpus = 4 + static_cast<int>(rng.NextBounded(5));  // 4-8 cores.
+    spec.run_for = Duration::Millis(60 + static_cast<int64_t>(rng.NextBounded(80)));
+    const int farm_pipelines = 256 + static_cast<int>(rng.NextBounded(104));
+    for (int i = 0; i < farm_pipelines; ++i) {
+      PipelineSpec p;
+      p.producer_cycles_per_item = 50'000 + static_cast<Cycles>(rng.NextBounded(150'000));
+      p.bytes_per_item = 40.0 + rng.NextDouble() * 80.0;
+      p.consumer_cycles_per_byte = 200 + static_cast<Cycles>(rng.NextBounded(800));
+      p.producer_proportion = Proportion::Ppt(2 + static_cast<int>(rng.NextBounded(3)));
+      // Deterministic period variety (no extra draws): 28 distinct rate-monotonic
+      // ranks cycling across the farm.
+      p.producer_period = Duration::Millis(5 + i % 28);
+      p.source_queue_bytes = static_cast<int64_t>(2.0 * p.bytes_per_item) * 8;
+      p.priority = 3 + i % 5;
+      p.tickets = 50 + (i % 7) * 37;
+      spec.pipelines.push_back(std::move(p));
+    }
+    return spec;
+  }
+
   // Fixed-reservation budget: at most 45% of the machine, each reservation at most
   // 45% of one core. The controller's least-fixed-loaded-core admission then always
   // finds a core below 50%, so every generated reservation is admitted (see

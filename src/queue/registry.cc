@@ -1,6 +1,5 @@
 #include "queue/registry.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "util/assert.h"
@@ -10,38 +9,29 @@ namespace realrate {
 BoundedBuffer* QueueRegistry::CreateQueue(std::string name, int64_t capacity_bytes) {
   const auto id = static_cast<QueueId>(queues_.size());
   queues_.push_back(std::make_unique<BoundedBuffer>(id, std::move(name), capacity_bytes));
+  raw_queues_.push_back(queues_.back().get());
   return queues_.back().get();
 }
 
 void QueueRegistry::Register(BoundedBuffer* queue, ThreadId thread, QueueRole role) {
   RR_EXPECTS(queue != nullptr);
   RR_EXPECTS(thread != kInvalidThreadId);
-  linkages_.push_back({queue, thread, role});
+  linkages_by_thread_[thread].push_back({queue, thread, role});
 }
 
 void QueueRegistry::Unregister(ThreadId thread) {
-  linkages_.erase(std::remove_if(linkages_.begin(), linkages_.end(),
-                                 [thread](const QueueLinkage& l) { return l.thread == thread; }),
-                  linkages_.end());
+  linkages_by_thread_.erase(thread);
 }
 
-std::vector<QueueLinkage> QueueRegistry::LinkagesFor(ThreadId thread) const {
-  std::vector<QueueLinkage> out;
-  for (const QueueLinkage& l : linkages_) {
-    if (l.thread == thread) {
-      out.push_back(l);
-    }
-  }
-  return out;
+const std::vector<QueueLinkage>& QueueRegistry::LinkagesFor(ThreadId thread) const {
+  static const std::vector<QueueLinkage> kNone;
+  const auto it = linkages_by_thread_.find(thread);
+  return it == linkages_by_thread_.end() ? kNone : it->second;
 }
 
 bool QueueRegistry::HasMetrics(ThreadId thread) const {
-  for (const QueueLinkage& l : linkages_) {
-    if (l.thread == thread) {
-      return true;
-    }
-  }
-  return false;
+  const auto it = linkages_by_thread_.find(thread);
+  return it != linkages_by_thread_.end() && !it->second.empty();
 }
 
 BoundedBuffer* QueueRegistry::Find(QueueId id) {
@@ -51,13 +41,5 @@ BoundedBuffer* QueueRegistry::Find(QueueId id) {
   return queues_[id].get();
 }
 
-std::vector<BoundedBuffer*> QueueRegistry::AllQueues() {
-  std::vector<BoundedBuffer*> out;
-  out.reserve(queues_.size());
-  for (auto& q : queues_) {
-    out.push_back(q.get());
-  }
-  return out;
-}
 
 }  // namespace realrate

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "queue/bounded_buffer.h"
@@ -34,19 +35,26 @@ class QueueRegistry {
   // Removes all linkages for `thread` (e.g. on exit).
   void Unregister(ThreadId thread);
 
-  // All linkages for one thread, in registration order.
-  std::vector<QueueLinkage> LinkagesFor(ThreadId thread) const;
-  // Whether the thread has any registered progress metric.
+  // All linkages for one thread, in registration order. O(1): served from a
+  // per-thread index (the controller reads this for every controlled thread on every
+  // iteration, so a scan over all linkages here is quadratic machine-wide). The
+  // reference is invalidated by Register()/Unregister() for that thread.
+  const std::vector<QueueLinkage>& LinkagesFor(ThreadId thread) const;
+  // Whether the thread has any registered progress metric. O(1).
   bool HasMetrics(ThreadId thread) const;
 
-  const std::vector<QueueLinkage>& linkages() const { return linkages_; }
   BoundedBuffer* Find(QueueId id);
   size_t queue_count() const { return queues_.size(); }
-  std::vector<BoundedBuffer*> AllQueues();
+  // O(1) reference to the registry's own pointer index (the invariant oracle sweeps
+  // every queue once per tick round). Invalidated by CreateQueue().
+  const std::vector<BoundedBuffer*>& AllQueues() const { return raw_queues_; }
 
  private:
   std::vector<std::unique_ptr<BoundedBuffer>> queues_;
-  std::vector<QueueLinkage> linkages_;
+  std::vector<BoundedBuffer*> raw_queues_;  // queues_[i].get(), kept by CreateQueue().
+  // The linkage store, indexed the way every reader reads it: per thread, in
+  // registration order within a thread.
+  std::unordered_map<ThreadId, std::vector<QueueLinkage>> linkages_by_thread_;
 };
 
 }  // namespace realrate

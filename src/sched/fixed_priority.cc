@@ -22,6 +22,14 @@ void FixedPriorityScheduler::OnTick(TimePoint /*now*/) {
   }
 }
 
+void FixedPriorityScheduler::OnTicksSkipped(int64_t count, TimePoint /*now*/) {
+  // Closed form of `count` cursor rotations (the thread set cannot change while the
+  // machine is suspended, so the modulus is stable across the whole skipped run).
+  if (!threads_.empty()) {
+    rr_cursor_ = (rr_cursor_ + static_cast<size_t>(count)) % threads_.size();
+  }
+}
+
 SimThread* FixedPriorityScheduler::PickNext(TimePoint /*now*/) {
   SimThread* best = nullptr;
   const size_t n = threads_.size();

@@ -22,6 +22,7 @@ class FixedPriorityScheduler : public Scheduler {
   void AddThread(SimThread* thread) override;
   void RemoveThread(SimThread* thread) override;
   void OnTick(TimePoint now) override;
+  void OnTicksSkipped(int64_t count, TimePoint now) override;
   SimThread* PickNext(TimePoint now) override;
   Cycles MaxGrant(SimThread* thread, Cycles tick_remaining) override;
   void OnRan(SimThread* thread, Cycles used, TimePoint now) override;

@@ -23,6 +23,9 @@ class LotteryScheduler : public Scheduler {
   void AddThread(SimThread* thread) override;
   void RemoveThread(SimThread* thread) override;
   void OnTick(TimePoint now) override;
+  // One OnTick is idempotent (it only clears the per-tick draw), so a skipped run of
+  // idle ticks — during which no draw can have happened — collapses to a single call.
+  void OnTicksSkipped(int64_t /*count*/, TimePoint now) override { OnTick(now); }
   SimThread* PickNext(TimePoint now) override;
   Cycles MaxGrant(SimThread* thread, Cycles tick_remaining) override;
   void OnRan(SimThread* thread, Cycles used, TimePoint now) override;

@@ -31,8 +31,10 @@ Machine::Machine(Simulator& sim, std::vector<Scheduler*> schedulers, ThreadRegis
 void Machine::Start() {
   RR_EXPECTS(!started_);
   started_ = true;
+  accounted_through_ = sim_.Now();
   for (CpuId c = 0; c < num_cpus(); ++c) {
-    sim_.ScheduleAfter(config_.dispatch_interval, [this, c] { Tick(c); });
+    CoreAt(c).next_tick_event =
+        sim_.ScheduleAfter(config_.dispatch_interval, [this, c] { Tick(c); });
   }
   if (num_cpus() > 1 && config_.rebalance_interval.IsPositive()) {
     sim_.ScheduleAfter(config_.rebalance_interval, [this] { Rebalance(); });
@@ -79,6 +81,7 @@ int Machine::ThreadCountOn(CpuId core, const SimThread* excluding) const {
 
 void Machine::Attach(SimThread* thread) {
   RR_EXPECTS(thread != nullptr);
+  ResumeTicking();  // A newly attached thread is runnable: the idle span is over.
   // Exclude the thread itself from the load census: it is typically already in the
   // registry (with a default core-0 affinity) by the time it is attached.
   const CpuId core = LeastLoadedCore(thread);
@@ -94,6 +97,9 @@ void Machine::Migrate(SimThread* thread, CpuId core) {
     return;
   }
   RR_EXPECTS(thread->state() != ThreadState::kRunning);
+  // Settle catch-up before run-queue membership changes: the schedulers' bulk
+  // OnTicksSkipped assumes a stable thread set across the skipped span.
+  ResumeTicking();
   Core& old_core = CoreAt(from);
   old_core.scheduler->RemoveThread(thread);
   if (old_core.last_ran == thread) {
@@ -125,6 +131,7 @@ void Machine::Wake(ThreadId thread_id) {
   if (thread == nullptr || thread->state() != ThreadState::kBlocked) {
     return;  // Spurious or stale wake.
   }
+  ResumeTicking();  // Before the transition: catch-up must see the idle-span state.
   thread->set_state(ThreadState::kRunnable);
   thread->set_last_wake_time(sim_.Now());
   thread->work().OnWake(sim_.Now());
@@ -135,10 +142,16 @@ void Machine::Wake(ThreadId thread_id) {
 void Machine::SleepUntil(SimThread* thread, TimePoint wake_at) {
   RR_EXPECTS(thread != nullptr);
   RR_EXPECTS(wake_at >= sim_.Now());
+  // Only a running/runnable thread can be put to sleep, so the machine cannot be
+  // suspended here through the dispatch path — but a direct caller (tests) could add
+  // a sleeper mid-suspension, which must re-arm the horizon. Resuming is the simple
+  // exact answer: the next round re-suspends with the new sleeper accounted.
+  ResumeTicking();
   thread->set_state(ThreadState::kSleeping);
   const uint64_t gen = next_generation_++;
   sleep_generation_[thread->id()] = gen;
   sleepers_.push({wake_at, gen, thread->id()});
+  CoreAt(thread->cpu()).scheduler->OnBlock(thread, sim_.Now());
 }
 
 void Machine::CancelSleep(SimThread* thread) {
@@ -146,6 +159,7 @@ void Machine::CancelSleep(SimThread* thread) {
   if (thread->state() != ThreadState::kSleeping) {
     return;
   }
+  ResumeTicking();
   sleep_generation_.erase(thread->id());  // The heap entry becomes stale.
   thread->set_state(ThreadState::kRunnable);
   thread->set_last_wake_time(sim_.Now());
@@ -156,13 +170,35 @@ void Machine::CancelSleep(SimThread* thread) {
 
 void Machine::StealCycles(CpuUse category, Cycles cycles, CpuId core) {
   RR_EXPECTS(cycles >= 0);
+  if (config_.charge_overheads) {
+    // The backlog must be absorbed by upcoming ticks, so a suspended machine resumes;
+    // without backlog the charge is purely observational and needs no clock.
+    ResumeTicking();
+  }
   sim_.cpu(core).Charge(category, cycles);
   if (config_.charge_overheads) {
     CoreAt(core).stolen_backlog += cycles;
   }
 }
 
-void Machine::RunFor(Duration d) { sim_.RunFor(d); }
+void Machine::RunFor(Duration d) {
+  sim_.RunFor(d);
+  if (suspended_) {
+    // Settle the elided span so post-run introspection (ticks, dispatches, idle
+    // charges) reads as if every tick ran. A tick exactly at the end time would have
+    // fired within RunUntil, hence inclusive.
+    AccountSkippedTicks(sim_.Now(), /*inclusive=*/true);
+  }
+}
+
+void Machine::SyncSkippedTicks(TimePoint now) {
+  if (suspended_) {
+    // Exclusive: an observer running at `now` precedes this timestamp's tick (ticks
+    // are pushed one interval ahead, so they sort after any same-time event that was
+    // scheduled earlier), and must not see its effects yet.
+    AccountSkippedTicks(now, /*inclusive=*/false);
+  }
+}
 
 int64_t Machine::dispatches() const {
   int64_t total = 0;
@@ -217,6 +253,8 @@ void Machine::Tick(CpuId core_id) {
   const TimePoint now = sim_.Now();
   Core& core = CoreAt(core_id);
   ++core.ticks;
+  core.round_had_pick = false;
+  accounted_through_ = now;
 
   if (core_id == 0) {
     WakeExpiredSleepers(now);
@@ -235,7 +273,174 @@ void Machine::Tick(CpuId core_id) {
   if (checker_ != nullptr) {
     checker_->OnTickComplete(*this, core_id, now);
   }
-  sim_.ScheduleAfter(config_.dispatch_interval, [this, core_id] { Tick(core_id); });
+  // The last core of the round decides whether the machine goes idle; everyone else
+  // re-arms its clock (the suspension path cancels those if the round does suspend).
+  if (core_id == num_cpus() - 1 && ShouldSuspend()) {
+    Suspend();
+    return;
+  }
+  core.next_tick_event =
+      sim_.ScheduleAfter(config_.dispatch_interval, [this, core_id] { Tick(core_id); });
+}
+
+bool Machine::ShouldSuspend() const {
+  if (!config_.idle_fast_forward || !started_) {
+    return false;
+  }
+  for (const Core& c : cores_) {
+    // Any dispatch this round, or pending overhead backlog, keeps the clocks running:
+    // the cheap per-core flags gate the registry sweep below.
+    if (c.round_had_pick || c.stolen_backlog > 0) {
+      return false;
+    }
+  }
+  for (const SimThread* t : registry_.All()) {
+    // A runnable thread — including a reserved one waiting out an exhausted budget,
+    // whose replenishment at a period boundary must be observed on time — means
+    // upcoming ticks are not no-ops.
+    if (!t->HasExited() && t->state() == ThreadState::kRunnable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Machine::Suspend() {
+  suspended_ = true;
+  ++idle_suspensions_;
+  for (Core& core : cores_) {
+    if (core.next_tick_event != kInvalidEventId) {
+      sim_.Cancel(core.next_tick_event);  // Bounded: Cancel rejects non-pending ids.
+      core.next_tick_event = kInvalidEventId;
+    }
+  }
+  ArmHorizon();
+}
+
+void Machine::ArmHorizon() {
+  // Drop stale sleep entries so the horizon tracks the earliest *live* sleeper.
+  while (!sleepers_.empty()) {
+    const SleepEntry& top = sleepers_.top();
+    auto it = sleep_generation_.find(top.thread);
+    if (it != sleep_generation_.end() && it->second == top.generation) {
+      break;
+    }
+    sleepers_.pop();
+  }
+  if (sleepers_.empty()) {
+    return;  // Fully quiescent: only an external stimulus can resume the machine.
+  }
+  // The tick that services a sleeper is the first grid point at or after its wake
+  // time — exactly when a continuously ticking core 0 would have woken it. The grid
+  // is anchored at the machine's Start time (accounted_through_ is always on it),
+  // not at simulator time zero: a machine started off-grid still wakes on its own
+  // tick boundaries.
+  const int64_t interval = config_.dispatch_interval.nanos();
+  const int64_t after = sleepers_.top().wake_at.nanos() - accounted_through_.nanos();
+  // The dispatch path cannot leave a due sleeper behind (the round that slept it had
+  // a pick, and its core-0 tick woke anything already expired), but SleepUntil's
+  // contract allows wake_at == Now(): a sleeper due at or before the last tick is
+  // serviced at the next one, exactly as on an eagerly ticking machine.
+  const int64_t ticks_ahead = std::max<int64_t>(1, (after + interval - 1) / interval);
+  const TimePoint horizon = accounted_through_ + config_.dispatch_interval * ticks_ahead;
+  horizon_event_ = sim_.Resched(horizon_event_, horizon, [this] {
+    horizon_event_ = kInvalidEventId;
+    ResumeTicking();
+  });
+}
+
+void Machine::AccountIdleTick(CpuId core_id) {
+  // Mirrors Tick() for a tick that provably dispatches nothing: same counter bumps,
+  // same charge order (timer interrupt, backlog absorption, dispatcher cost, idle).
+  Core& core = CoreAt(core_id);
+  Cpu& cpu = sim_.cpu(core_id);
+  ++core.ticks;
+  if (core_id == 0 && config_.charge_overheads) {
+    cpu.Charge(CpuUse::kTimer, cpu.config().timer_idle_cycles);
+    core.stolen_backlog += cpu.config().timer_idle_cycles;
+  }
+  Cycles cycles_left = cycles_per_tick_;
+  const Cycles absorbed = std::min(core.stolen_backlog, cycles_left);
+  cycles_left -= absorbed;
+  core.stolen_backlog -= absorbed;
+  ++core.dispatches;
+  if (config_.charge_overheads) {
+    const Cycles dispatch_cost = cpu.DispatchCostAt(dispatch_hz());
+    cpu.Charge(CpuUse::kDispatch, dispatch_cost);
+    cycles_left -= std::min(dispatch_cost, cycles_left);
+  }
+  if (cycles_left > 0) {
+    cpu.Charge(CpuUse::kIdle, cycles_left);
+  }
+}
+
+void Machine::AccountSkippedTicks(TimePoint upto, bool inclusive) {
+  const Duration interval = config_.dispatch_interval;
+  int64_t count = (upto - accounted_through_) / interval;
+  if (count > 0 && !inclusive && accounted_through_ + interval * count == upto) {
+    --count;  // A tick exactly at `upto` has not run yet from the observer's view.
+  }
+  if (count <= 0) {
+    return;
+  }
+  const TimePoint last = accounted_through_ + interval * count;
+  // Every skipped tick is identical (the suspension invariant guarantees zero
+  // backlog, and the boot core's timer-idle charge is absorbed within its own tick
+  // whenever it fits the tick capacity), so the span settles with O(cores)
+  // multiplications. The degenerate sub-timer-cost tick capacity falls back to a
+  // literal per-tick replay, where backlog genuinely carries across ticks.
+  const bool steady = !config_.charge_overheads ||
+                      sim_.cpu(0).config().timer_idle_cycles <= cycles_per_tick_;
+  for (CpuId c = 0; c < num_cpus(); ++c) {
+    if (!steady) {
+      for (int64_t i = 0; i < count; ++i) {
+        AccountIdleTick(c);
+      }
+    } else {
+      Core& core = CoreAt(c);
+      Cpu& cpu = sim_.cpu(c);
+      core.ticks += count;
+      core.dispatches += count;
+      Cycles cycles_left = cycles_per_tick_;  // Per-tick remainder after overheads.
+      if (config_.charge_overheads) {
+        if (c == 0) {
+          const Cycles timer = cpu.config().timer_idle_cycles;
+          cpu.Charge(CpuUse::kTimer, timer * count);
+          cycles_left -= timer;  // Absorbed from the same tick's capacity.
+        }
+        const Cycles dispatch_cost = cpu.DispatchCostAt(dispatch_hz());
+        cpu.Charge(CpuUse::kDispatch, dispatch_cost * count);
+        cycles_left -= std::min(dispatch_cost, cycles_left);
+      }
+      if (cycles_left > 0) {
+        cpu.Charge(CpuUse::kIdle, cycles_left * count);
+      }
+    }
+    // Bulk scheduler catch-up: replenishments (and any per-tick bookkeeping) the
+    // skipped ticks would have applied, collapsed into one call at the final grid.
+    CoreAt(c).scheduler->OnTicksSkipped(count, last);
+  }
+  accounted_through_ = last;
+}
+
+void Machine::ResumeTicking() {
+  if (!suspended_) {
+    return;
+  }
+  suspended_ = false;
+  if (horizon_event_ != kInvalidEventId) {
+    sim_.Cancel(horizon_event_);
+    horizon_event_ = kInvalidEventId;
+  }
+  // Ticks strictly before now already "happened" (they were idle by construction);
+  // the clocks restart at the next grid point — which is `now` itself when the
+  // trigger lands exactly on the grid, matching a tick event that would have been
+  // scheduled one interval earlier and popped after the currently running event.
+  AccountSkippedTicks(sim_.Now(), /*inclusive=*/false);
+  const TimePoint first_tick = accounted_through_ + config_.dispatch_interval;
+  for (CpuId c = 0; c < num_cpus(); ++c) {
+    CoreAt(c).next_tick_event = sim_.ScheduleAt(first_tick, [this, c] { Tick(c); });
+  }
 }
 
 void Machine::DispatchLoop(Core& core, CpuId core_id, TimePoint now, Cycles cycles_left) {
@@ -259,6 +464,7 @@ void Machine::DispatchLoop(Core& core, CpuId core_id, TimePoint now, Cycles cycl
       cpu.Charge(CpuUse::kIdle, cycles_left);
       return;
     }
+    core.round_had_pick = true;
     if (checker_ != nullptr) {
       checker_->OnPicked(*this, core_id, pick, now);
     }
@@ -312,8 +518,7 @@ void Machine::ApplyRunResult(Core& core, SimThread* thread, const RunResult& res
     case RunResult::Next::kSleeping:
       thread->set_state(ThreadState::kRunnable);  // SleepUntil flips it to kSleeping.
       thread->OnBurstEnd();
-      SleepUntil(thread, std::max(result.wake_at, now));
-      core.scheduler->OnBlock(thread, now);
+      SleepUntil(thread, std::max(result.wake_at, now));  // Notifies OnBlock itself.
       return;
     case RunResult::Next::kExited:
       thread->set_state(ThreadState::kExited);
@@ -330,8 +535,7 @@ void Machine::ApplyRunResult(Core& core, SimThread* thread, const RunResult& res
   if (const auto throttle_until = core.scheduler->ThrottleUntil(thread, now)) {
     sim_.trace().Record(now, TraceKind::kBudgetExhausted, thread->id(),
                         thread->cycles_this_period());
-    SleepUntil(thread, std::max(*throttle_until, now));
-    core.scheduler->OnBlock(thread, now);
+    SleepUntil(thread, std::max(*throttle_until, now));  // Notifies OnBlock itself.
   }
 }
 

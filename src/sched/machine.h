@@ -9,6 +9,22 @@
 // core/controller.h); the Machine is what turns N such budgets into one machine by
 // deciding which core each thread's proportion is drawn from.
 //
+// Idle fast-forward (config.idle_fast_forward, on by default): when a dispatch round
+// ends with no runnable thread anywhere and no overhead backlog, the Machine stops
+// scheduling per-tick callbacks and suspends its dispatch clocks — the event-driven
+// alternative to burning one simulator event per empty tick. The next machine-visible
+// stimulus resumes them: a wake (queue/mutex/tty/timer), a new thread, a migration, or
+// an overhead charge. Sleeper expiries are covered by a single "horizon" event armed
+// at the tick that would service the earliest sleeper. On resume the skipped ticks are
+// replayed in bulk — tick/dispatch counters, timer/dispatch/idle charges, and the
+// schedulers' OnTicksSkipped catch-up — so counters, accounting, budgets, and the
+// trace are bit-identical to a machine that ticked through the idle span (the
+// differential harness cross-checks this equivalence over fuzz seeds). The only
+// observable difference is that MachineChecker::OnTickComplete is not invoked for
+// skipped ticks (there was, by construction, nothing to check). RunFor() settles the
+// catch-up at the end of a run; callers driving the Simulator directly should prefer
+// Machine::RunFor when they read tick-granularity introspection afterwards.
+//
 // Ownership: the Machine borrows the Simulator, the per-core Schedulers, and the
 // ThreadRegistry — all must outlive it. It owns nothing but its per-core bookkeeping.
 //
@@ -50,6 +66,8 @@ class Machine;
 // checker sees every scheduling decision at the instant it is made. Checkers must be
 // read-only observers: they may walk the machine, registry, and trace, but must not
 // mutate simulation state — installing one must leave the schedule bit-identical.
+// Ticks elided by idle fast-forward do not invoke OnTickComplete: they dispatched
+// nothing, and their accounting is settled in bulk at resume time.
 class MachineChecker {
  public:
   virtual ~MachineChecker() = default;
@@ -66,6 +84,10 @@ struct MachineConfig {
   // If false, dispatch/context-switch/timer costs are not deducted from capacity
   // (useful for pure-policy unit tests that want exact cycle math).
   bool charge_overheads = true;
+  // Skip runs of empty dispatch ticks instead of scheduling a callback per tick (see
+  // the header comment). Behavior-preserving; disable only to A/B the event count or
+  // to debug the catch-up path itself.
+  bool idle_fast_forward = true;
   // --- SMP policy knobs (ignored on a 1-core machine) ---
   // How often the rebalancer looks for proportion-over-subscribed cores. Zero
   // disables rebalancing entirely.
@@ -131,6 +153,12 @@ class Machine {
   // The user-level controller runs on the boot core, hence the default.
   void StealCycles(CpuUse category, Cycles cycles, CpuId core = 0);
 
+  // Settles idle-fast-forward catch-up through (but excluding) a tick at `now`, so an
+  // external observer running before this timestamp's tick — the controller, above
+  // all — sees exactly the state a continuously ticking machine would show it.
+  // No-op unless suspended. Does not resume the dispatch clocks.
+  void SyncSkippedTicks(TimePoint now);
+
   // --- Placement / migration (the SMP policy surface) ---
   // The core Attach would place a new thread on right now: smallest reserved
   // proportion, ties broken by fewest attached threads, then lowest core id.
@@ -147,7 +175,8 @@ class Machine {
   // Live (non-exited) threads assigned to `core`, optionally excluding one thread.
   int ThreadCountOn(CpuId core, const SimThread* excluding = nullptr) const;
 
-  // Convenience: run the simulation for `d` of virtual time.
+  // Convenience: run the simulation for `d` of virtual time, then settle any pending
+  // idle-fast-forward catch-up so counters and accounting read as if every tick ran.
   void RunFor(Duration d);
 
   // --- Introspection for tests and experiments ---
@@ -161,6 +190,10 @@ class Machine {
   int64_t context_switches_on(CpuId core) const { return CoreAt(core).context_switches; }
   int64_t ticks() const { return CoreAt(0).ticks; }
   Cycles cycles_per_tick() const { return cycles_per_tick_; }
+  // Observability for the fast-forward machinery: how many dispatch-clock
+  // suspensions have begun, and whether one is in effect right now.
+  int64_t idle_suspensions() const { return idle_suspensions_; }
+  bool idle_suspended() const { return suspended_; }
 
  private:
   struct SleepEntry {
@@ -184,6 +217,8 @@ class Machine {
     int64_t dispatches = 0;
     int64_t context_switches = 0;
     int64_t ticks = 0;
+    EventId next_tick_event = kInvalidEventId;  // Pending Tick callback, if any.
+    bool round_had_pick = false;  // Did this core dispatch anything this tick round?
   };
 
   Core& CoreAt(CpuId core) {
@@ -204,6 +239,26 @@ class Machine {
   // One pass of the over-subscription rebalancer; reschedules itself.
   void Rebalance();
 
+  // --- Idle fast-forward ---
+  // True when the whole machine is provably idle going forward: no runnable thread
+  // on any core and no overhead backlog to absorb.
+  bool ShouldSuspend() const;
+  // Stops the per-tick clocks (cancelling already-scheduled ticks) and arms the
+  // sleeper-horizon event. Called at the end of the last core's tick in a round.
+  void Suspend();
+  // Arms (or re-arms) the horizon event at the tick that will service the earliest
+  // live sleeper; no event if the sleep list is empty.
+  void ArmHorizon();
+  // Replays the accounting of one elided idle tick on `core_id`, exactly as the
+  // skipped Tick would have charged it.
+  void AccountIdleTick(CpuId core_id);
+  // Replays all elided ticks at grid points in (accounted_through_, upto) — or
+  // (..., upto] with `inclusive` — updating counters, charges, and scheduler state.
+  void AccountSkippedTicks(TimePoint upto, bool inclusive);
+  // Settles catch-up strictly before `now` and restarts the per-core tick clocks at
+  // the next grid point. No-op unless suspended.
+  void ResumeTicking();
+
   Simulator& sim_;
   ThreadRegistry& registry_;
   MachineConfig config_;
@@ -213,6 +268,13 @@ class Machine {
   std::priority_queue<SleepEntry, std::vector<SleepEntry>, std::greater<SleepEntry>> sleepers_;
   std::unordered_map<ThreadId, uint64_t> sleep_generation_;
   uint64_t next_generation_ = 1;
+
+  // Fast-forward state: the last tick grid point whose effects (real or replayed)
+  // are reflected in counters and accounting, and the armed sleeper-horizon event.
+  TimePoint accounted_through_ = TimePoint::Origin();
+  bool suspended_ = false;
+  EventId horizon_event_ = kInvalidEventId;
+  int64_t idle_suspensions_ = 0;
 
   int64_t migrations_ = 0;
   bool started_ = false;

@@ -30,6 +30,9 @@ class MlfqScheduler : public Scheduler {
   void AddThread(SimThread* thread) override;
   void RemoveThread(SimThread* thread) override;
   void OnTick(TimePoint now) override;
+  // OnTick is a no-op (recalculation happens lazily in PickNext), so skipped idle
+  // ticks require no catch-up at all.
+  void OnTicksSkipped(int64_t /*count*/, TimePoint /*now*/) override {}
   SimThread* PickNext(TimePoint now) override;
   Cycles MaxGrant(SimThread* thread, Cycles tick_remaining) override;
   void OnRan(SimThread* thread, Cycles used, TimePoint now) override;

@@ -11,18 +11,111 @@ namespace {
 // with remaining budget is this base plus a rate-monotonic bonus; non-reserved threads
 // score in [1, kRmBase).
 constexpr int64_t kRmBase = int64_t{1} << 40;
+
+// The rate-monotonic bonus: the period rank expressed as periods-per-hour so that any
+// realistic period (>= 1 ms) maps to a positive, strictly rate-ordered value. Shared
+// by Goodness (the reference semantics) and the pick index (the incrementally
+// maintained key), so the two can never disagree on ordering.
+int64_t RmRank(const SimThread* thread) { return Duration::Seconds(3600) / thread->period(); }
 }  // namespace
 
 RbsScheduler::RbsScheduler(const Cpu& cpu, const RbsConfig& config) : cpu_(cpu), config_(config) {}
+
+RbsScheduler::~RbsScheduler() {
+  for (auto& [thread, node] : nodes_) {
+    if (thread->sched_slot() == &node) {
+      thread->set_sched_slot(nullptr);
+    }
+  }
+}
+
+RbsScheduler::Node* RbsScheduler::FindNode(SimThread* thread) {
+  // The slot is a cache of &nodes_[thread], valid only when this instance owns the
+  // thread's run-queue membership — one pointer read instead of a hash lookup on
+  // every OnRan/OnBlock/OnWake along the dispatch hot path.
+  auto* node = static_cast<Node*>(thread->sched_slot());
+  return node != nullptr && node->owner == this ? node : nullptr;
+}
+
+void RbsScheduler::Reindex(SimThread* thread) {
+  if (!config_.use_indexed_pick) {
+    return;  // Reference build: no index to maintain (the A/B stays a fair fight).
+  }
+  Node* node = FindNode(thread);
+  if (node == nullptr) {
+    return;  // Not scheduled here (e.g. cross-core actuation); nothing to maintain.
+  }
+  const ThreadState state = thread->state();
+  // kRunning is transient within one dispatch iteration; by the next PickNext the
+  // thread is back to kRunnable or has left through an OnBlock/RemoveThread hook, so
+  // counting it "active" keeps the index exact at every pick.
+  const bool active = state == ThreadState::kRunnable || state == ThreadState::kRunning;
+  const bool reserved = HasReservation(thread);
+
+  if (node->counted_runnable) {
+    --(node->counted_reserved ? runnable_reserved_ : runnable_unreserved_);
+  }
+  node->counted_runnable = active;
+  node->counted_reserved = reserved;
+  if (active) {
+    ++(reserved ? runnable_reserved_ : runnable_unreserved_);
+  }
+
+  const bool eligible = active && reserved && thread->budget_remaining() > 0;
+  int64_t primary = 0;
+  if (eligible) {
+    primary = config_.order == DispatchOrder::kEarliestDeadlineFirst
+                  ? (thread->period_start() + thread->period()).nanos()
+                  : -RmRank(thread);
+  }
+  if (node->in_pick_index) {
+    if (eligible && primary == node->pick_primary) {
+      return;  // Membership and key unchanged: the common OnRan case, O(1).
+    }
+    pick_index_.erase(PickKey{node->pick_primary, node->seq, thread});
+    node->in_pick_index = false;
+  }
+  if (eligible) {
+    pick_index_.insert(PickKey{primary, node->seq, thread});
+    node->pick_primary = primary;
+    node->in_pick_index = true;
+  }
+}
+
+void RbsScheduler::RearmReplenish(SimThread* thread, Node& node) {
+  node.replenish_gen = next_gen_++;  // Any older due-heap entry is now stale.
+  if (config_.use_indexed_pick && HasReservation(thread)) {
+    due_.push(DueEntry{thread->period_start() + thread->period(), node.seq,
+                       node.replenish_gen, thread});
+  }
+}
 
 void RbsScheduler::AddThread(SimThread* thread) {
   RR_EXPECTS(thread != nullptr);
   RR_EXPECTS(std::find(threads_.begin(), threads_.end(), thread) == threads_.end());
   threads_.push_back(thread);
+  Node& node = nodes_[thread];  // Node-based container: the address is stable.
+  node.owner = this;
+  node.seq = next_seq_++;
+  thread->set_sched_slot(&node);
+  RearmReplenish(thread, node);
+  Reindex(thread);
 }
 
 void RbsScheduler::RemoveThread(SimThread* thread) {
   threads_.erase(std::remove(threads_.begin(), threads_.end(), thread), threads_.end());
+  Node* node = FindNode(thread);
+  if (node == nullptr) {
+    return;
+  }
+  if (node->in_pick_index) {
+    pick_index_.erase(PickKey{node->pick_primary, node->seq, thread});
+  }
+  if (node->counted_runnable) {
+    --(node->counted_reserved ? runnable_reserved_ : runnable_unreserved_);
+  }
+  thread->set_sched_slot(nullptr);
+  nodes_.erase(thread);  // Orphaned due-heap entries die by generation mismatch.
 }
 
 Cycles RbsScheduler::PeriodBudget(const SimThread* thread) const {
@@ -57,15 +150,53 @@ void RbsScheduler::Replenish(SimThread* thread, TimePoint now) {
   thread->set_budget_remaining(budget);
   thread->set_period_entitlement(budget);
   thread->ResetPeriodCycles();
+  if (Node* node = FindNode(thread)) {
+    RearmReplenish(thread, *node);
+  }
+  Reindex(thread);
 }
 
 void RbsScheduler::OnTick(TimePoint now) {
-  for (SimThread* t : threads_) {
-    if (HasReservation(t)) {
-      Replenish(t, now);
+  if (!config_.use_indexed_pick) {
+    // Reference build: the original per-tick O(n) replenish scan.
+    for (SimThread* t : threads_) {
+      if (HasReservation(t)) {
+        Replenish(t, now);
+      }
     }
+    return;
+  }
+  // Pop every due (and still-current) replenishment, then apply them in admission
+  // order — the order the original per-tick scan over `threads_` replenished in, which
+  // the deadline-miss callbacks can observe. `due_now_` is a reused member buffer so
+  // the common tick allocates nothing.
+  due_now_.clear();
+  while (!due_.empty() && due_.top().due <= now) {
+    const DueEntry entry = due_.top();
+    due_.pop();
+    const Node* node = FindNode(entry.thread);
+    if (node == nullptr || node->replenish_gen != entry.gen) {
+      continue;  // Stale: reservation changed or thread left since this was armed.
+    }
+    due_now_.push_back(entry);
+  }
+  std::sort(due_now_.begin(), due_now_.end(),
+            [](const DueEntry& a, const DueEntry& b) { return a.seq < b.seq; });
+  for (const DueEntry& entry : due_now_) {
+    Replenish(entry.thread, now);
   }
 }
+
+void RbsScheduler::OnTicksSkipped(int64_t /*count*/, TimePoint now) {
+  // Replenish is written to catch up across any number of elapsed periods, and the
+  // deadline-miss check cannot fire while nothing is runnable, so one due-driven pass
+  // at the final skipped tick reproduces `count` per-tick passes exactly.
+  OnTick(now);
+}
+
+void RbsScheduler::OnWake(SimThread* thread, TimePoint /*now*/) { Reindex(thread); }
+
+void RbsScheduler::OnBlock(SimThread* thread, TimePoint /*now*/) { Reindex(thread); }
 
 int64_t RbsScheduler::Goodness(const SimThread* thread) const {
   if (!thread->IsRunnable() && thread->state() != ThreadState::kRunning) {
@@ -75,20 +206,18 @@ int64_t RbsScheduler::Goodness(const SimThread* thread) const {
     if (thread->budget_remaining() <= 0) {
       return 0;  // Used its allocation; sleeps until next period.
     }
-    // Rate-monotonic: shorter period => higher goodness. The bonus is the period rank
-    // expressed as periods-per-hour so that any realistic period (>= 1 ms) maps to a
-    // positive, strictly rate-ordered value.
-    const int64_t periods_per_hour = Duration::Seconds(3600) / thread->period();
-    return kRmBase + periods_per_hour;
+    // Rate-monotonic: shorter period => higher goodness.
+    return kRmBase + RmRank(thread);
   }
   // Non-reserved: modest goodness so they run only when no reserved thread can.
   return 1;
 }
 
-SimThread* RbsScheduler::PickNext(TimePoint /*now*/) {
-  // Reserved threads first. Rate-monotonic: highest goodness (shortest period). EDF:
-  // earliest deadline, where a thread's deadline is the end of its current period.
-  // Ties broken by id for determinism.
+SimThread* RbsScheduler::PickReservedReference(TimePoint /*now*/) {
+  // The original O(n) scan. Reserved threads first. Rate-monotonic: highest goodness
+  // (shortest period). EDF: earliest deadline, where a thread's deadline is the end of
+  // its current period. Ties broken by scan position — arrival order — matching the
+  // pick index's sequence-number tiebreak.
   SimThread* best = nullptr;
   if (config_.order == DispatchOrder::kEarliestDeadlineFirst) {
     TimePoint best_deadline = TimePoint::Max();
@@ -102,28 +231,55 @@ SimThread* RbsScheduler::PickNext(TimePoint /*now*/) {
         best_deadline = deadline;
       }
     }
-    if (best != nullptr) {
-      return best;
-    }
-  } else {
-    int64_t best_goodness = 0;
-    for (SimThread* t : threads_) {
-      if (!t->IsRunnable()) {
-        continue;
-      }
-      const int64_t g = Goodness(t);
-      if (g > best_goodness) {
-        best = t;
-        best_goodness = g;
-      }
-    }
-    if (best != nullptr && best_goodness >= kRmBase) {
-      return best;
-    }
-    best = nullptr;
+    return best;
   }
+  int64_t best_goodness = 0;
+  for (SimThread* t : threads_) {
+    if (!t->IsRunnable()) {
+      continue;
+    }
+    const int64_t g = Goodness(t);
+    if (g > best_goodness) {
+      best = t;
+      best_goodness = g;
+    }
+  }
+  return best_goodness >= kRmBase ? best : nullptr;
+}
+
+SimThread* RbsScheduler::PickReservedIndexed() {
+  if (pick_index_.empty()) {
+    return nullptr;
+  }
+  SimThread* pick = pick_index_.begin()->thread;
+  // Index-integrity check: every mutation that can change eligibility must have gone
+  // through a Reindex hook; a stale entry here means a state change bypassed them.
+  RR_CHECK(pick->IsRunnable() && HasReservation(pick) && pick->budget_remaining() > 0);
+  return pick;
+}
+
+bool RbsScheduler::HasFallbackCandidate() const {
+  for (SimThread* t : threads_) {
+    if (!t->IsRunnable()) {
+      continue;
+    }
+    const bool exhausted_reserved = HasReservation(t) && t->budget_remaining() <= 0;
+    if (exhausted_reserved && !config_.work_conserving) {
+      continue;
+    }
+    if (!exhausted_reserved && HasReservation(t)) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+SimThread* RbsScheduler::PickFallbackRoundRobin() {
   // No reserved thread can run: round-robin over the remaining runnables (non-reserved
-  // threads, plus exhausted reserved threads when work-conserving).
+  // threads, plus exhausted reserved threads when work-conserving). Verbatim from the
+  // original scan — the cursor is positional, so this path stays O(n) but is gated by
+  // the occupancy counts in PickNext and only runs when it will find work.
   const size_t n = threads_.size();
   for (size_t i = 0; i < n; ++i) {
     SimThread* t = threads_[(rr_cursor_ + i) % n];
@@ -140,7 +296,49 @@ SimThread* RbsScheduler::PickNext(TimePoint /*now*/) {
     rr_cursor_ = (rr_cursor_ + i + 1) % n;
     return t;
   }
-  return best;  // nullptr, or a reserved thread found above (unreachable here).
+  return nullptr;
+}
+
+SimThread* RbsScheduler::PickNext(TimePoint now) {
+  SimThread* pick = nullptr;
+  if (config_.use_indexed_pick) {
+    pick = PickReservedIndexed();
+    if (config_.shadow_check) {
+      // Shadow-scheduler mode: the reference scan runs alongside (side-effect-free)
+      // and must agree with the index at every dispatch.
+      SimThread* reference = PickReservedReference(now);
+      RR_CHECK(pick == reference);
+      ++shadow_checks_;
+    }
+  } else {
+    pick = PickReservedReference(now);
+  }
+  if (pick != nullptr) {
+    return pick;
+  }
+  if (config_.use_indexed_pick) {
+    // Secondary (occupancy) index: skip the positional fallback scan outright when no
+    // round-robin candidate exists — the common case in a farm of blocked threads.
+    // Reserved threads with budget are all in the (empty, or we would not be here)
+    // pick index, so runnable_reserved_ now counts only exhausted ones.
+    const bool have_unreserved = runnable_unreserved_ > 0;
+    const bool have_exhausted = config_.work_conserving && runnable_reserved_ > 0;
+    if (config_.shadow_check) {
+      RR_CHECK((have_unreserved || have_exhausted) == HasFallbackCandidate());
+    }
+    if (!have_unreserved && !have_exhausted) {
+      return nullptr;
+    }
+  }
+  return PickFallbackRoundRobin();
+}
+
+SimThread* RbsScheduler::PickNextReference(TimePoint now) {
+  SimThread* pick = PickReservedReference(now);
+  if (pick != nullptr) {
+    return pick;
+  }
+  return PickFallbackRoundRobin();
 }
 
 Cycles RbsScheduler::MaxGrant(SimThread* thread, Cycles tick_remaining) {
@@ -153,6 +351,7 @@ Cycles RbsScheduler::MaxGrant(SimThread* thread, Cycles tick_remaining) {
 void RbsScheduler::OnRan(SimThread* thread, Cycles used, TimePoint /*now*/) {
   if (HasReservation(thread)) {
     thread->set_budget_remaining(std::max<Cycles>(0, thread->budget_remaining() - used));
+    Reindex(thread);  // O(1) unless the budget just hit zero.
   }
 }
 
@@ -171,6 +370,12 @@ std::optional<TimePoint> RbsScheduler::ThrottleUntil(SimThread* thread, TimePoin
 void RbsScheduler::SetReservation(SimThread* thread, Proportion proportion, Duration period,
                                   TimePoint now) {
   RR_EXPECTS(thread != nullptr);
+  // A thread enqueued on some scheduler must be actuated through that instance —
+  // its indexed run-queue state lives there (route via the thread's core, as
+  // FeedbackAllocator::SchedulerFor does). A thread enqueued nowhere may be actuated
+  // by any instance (reservation state lives on the thread).
+  RR_EXPECTS(thread->sched_slot() == nullptr || FindNode(thread) != nullptr);
+  const bool was_reserved = HasReservation(thread);
   const bool fresh =
       thread->policy() != SchedPolicy::kReservation || thread->period() != period;
   thread->set_policy(SchedPolicy::kReservation);
@@ -189,6 +394,16 @@ void RbsScheduler::SetReservation(SimThread* thread, Proportion proportion, Dura
     // accumulate a budget bias.
     thread->set_budget_remaining(
         std::max<Cycles>(0, PeriodBudget(thread) - thread->cycles_this_period()));
+  }
+  if (Node* node = FindNode(thread)) {
+    // The due time (period_start + period) only moves on the fresh path; rearming on
+    // proportion-only actuations would churn the due-heap once per controller run per
+    // thread for nothing. A reservation appearing or vanishing (proportion zero <->
+    // nonzero) changes whether a due entry should exist at all, so it rearms too.
+    if (fresh || was_reserved != HasReservation(thread)) {
+      RearmReplenish(thread, *node);
+    }
+    Reindex(thread);
   }
 }
 

@@ -5,12 +5,33 @@
 // "our policy calculates goodness to ensure that threads it controls have higher
 // goodness than jobs under other policies, and that jobs with shorter periods have
 // higher goodness values."
+//
+// Dispatch hot path (see docs/ARCHITECTURE.md, "The dispatch hot path"): PickNext is
+// O(log n) against indexed run queues rather than the original O(n) goodness scan.
+//   - Reserved threads with remaining budget live in an ordered pick index keyed by
+//     incrementally maintained period rank (rate-monotonic mode) or period deadline
+//     (EDF mode), with the thread's admission sequence number as the tiebreaker —
+//     exactly the tie order of the original scan, which resolved equal goodness by
+//     position in the (arrival-ordered) thread vector.
+//   - Period replenishment is driven by a due-heap keyed by period end, so OnTick
+//     touches only the threads whose period actually closed instead of all n.
+//   - Best-effort (and, in work-conserving mode, budget-exhausted) threads are
+//     summarized by a secondary occupancy index — runnable counts that let PickNext
+//     skip the round-robin fallback scan entirely in the common all-blocked case; the
+//     scan itself is kept verbatim because its cursor semantics are positional.
+// The original scan survives as PickNextReference(); RbsConfig::shadow_check makes
+// every PickNext assert indexed pick == reference pick (the shadow-scheduler mode the
+// fuzz harness runs), and RbsConfig::use_indexed_pick = false falls back to the
+// reference scan wholesale (the bench_dispatch_scale comparison build).
 #ifndef REALRATE_SCHED_RBS_H_
 #define REALRATE_SCHED_RBS_H_
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <queue>
+#include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "sched/scheduler.h"
@@ -34,25 +55,45 @@ struct RbsConfig {
   // threads sleep until their next period. Default matches the paper.
   bool work_conserving = false;
   DispatchOrder order = DispatchOrder::kRateMonotonic;
+  // If false, the scheduler runs as the pre-index reference build: PickNext uses the
+  // O(n) goodness scan, OnTick uses the O(n) per-tick replenish sweep, and no index
+  // maintenance happens at all — the comparison baseline bench_dispatch_scale
+  // measures against. Behavior (schedule, trace) is identical either way.
+  bool use_indexed_pick = true;
+  // Shadow-scheduler mode: every PickNext computes both the indexed pick and the
+  // reference scan pick and asserts they are identical. Used by the fuzz harness
+  // (RunOptions::rbs_shadow_check) to pin the indexed structures to the original
+  // semantics across generated workloads.
+  bool shadow_check = false;
 };
 
 class RbsScheduler : public Scheduler {
  public:
   RbsScheduler(const Cpu& cpu, const RbsConfig& config = RbsConfig{});
+  ~RbsScheduler() override;  // Clears the sched_slot cache of still-enqueued threads.
 
   const char* name() const override { return "rbs"; }
 
   void AddThread(SimThread* thread) override;
   void RemoveThread(SimThread* thread) override;
   void OnTick(TimePoint now) override;
+  void OnTicksSkipped(int64_t count, TimePoint now) override;
   SimThread* PickNext(TimePoint now) override;
   Cycles MaxGrant(SimThread* thread, Cycles tick_remaining) override;
   void OnRan(SimThread* thread, Cycles used, TimePoint now) override;
   std::optional<TimePoint> ThrottleUntil(SimThread* thread, TimePoint now) override;
+  void OnWake(SimThread* thread, TimePoint now) override;
+  void OnBlock(SimThread* thread, TimePoint now) override;
+
+  // The original O(n) goodness/deadline scan, preserved verbatim as the reference
+  // implementation the indexed pick is validated against (shadow_check) and the
+  // baseline bench_dispatch_scale measures. Shares the round-robin cursor with
+  // PickNext, so within one run use either entry point per dispatch, not both.
+  SimThread* PickNextReference(TimePoint now);
 
   // Actuation entry point used by the controller: sets proportion/period and restarts
   // the thread's period from `now` with a fresh budget. "Very low overhead to change
-  // proportion and period" — O(1).
+  // proportion and period" — O(1) (plus O(log n) index maintenance).
   void SetReservation(SimThread* thread, Proportion proportion, Duration period, TimePoint now);
 
   // The goodness function, exposed for tests. Higher runs first. Zero means "do not
@@ -70,18 +111,92 @@ class RbsScheduler : public Scheduler {
   void SetDeadlineMissFn(DeadlineMissFn fn) { miss_fn_ = std::move(fn); }
 
   const std::vector<SimThread*>& threads() const { return threads_; }
+  // Shadow-mode observability: picks that ran both implementations and agreed.
+  int64_t shadow_checks() const { return shadow_checks_; }
 
  private:
+  // Per-thread bookkeeping owned by this scheduler (not the thread): the admission
+  // sequence number that reproduces the reference scan's tie order, the pick-index
+  // membership/key snapshot, and the replenish-heap generation stamp.
+  struct Node {
+    RbsScheduler* owner = nullptr;  // Guards the SimThread::sched_slot cache.
+    uint64_t seq = 0;
+    bool in_pick_index = false;
+    int64_t pick_primary = 0;       // Key snapshot while in the pick index.
+    bool counted_runnable = false;  // Contributes to the occupancy counts below.
+    bool counted_reserved = false;  // Which count it contributes to.
+    uint64_t replenish_gen = 0;     // Current generation; stale heap entries mismatch.
+  };
+
+  // Ordered pick index element. Comparison is (rank desc | deadline asc, seq asc):
+  // begin() is exactly the thread the reference scan would return.
+  struct PickKey {
+    int64_t primary = 0;  // -rm_rank, or the EDF deadline in nanos.
+    uint64_t seq = 0;
+    SimThread* thread = nullptr;
+    bool operator<(const PickKey& other) const {
+      if (primary != other.primary) {
+        return primary < other.primary;
+      }
+      return seq < other.seq;
+    }
+  };
+
+  // Replenish due-heap entry: period end of one reservation incarnation.
+  struct DueEntry {
+    TimePoint due;
+    uint64_t seq = 0;
+    uint64_t gen = 0;
+    SimThread* thread = nullptr;
+    bool operator>(const DueEntry& other) const {
+      if (due != other.due) {
+        return due > other.due;
+      }
+      return seq > other.seq;
+    }
+  };
+
   bool HasReservation(const SimThread* t) const {
     return t->policy() == SchedPolicy::kReservation && !t->proportion().IsZero();
   }
   void Replenish(SimThread* thread, TimePoint now);
+  // Recomputes `thread`'s pick-index membership/key and occupancy counts from its
+  // current state. Idempotent; every mutation hook funnels through it.
+  void Reindex(SimThread* thread);
+  Node* FindNode(SimThread* thread);
+  // Pushes a fresh due-heap entry for `thread`'s current period (bumping the
+  // generation so older entries die), or just invalidates when unreserved.
+  void RearmReplenish(SimThread* thread, Node& node);
+  // The two halves of the reference scan, side-effect-free and cursor-mutating
+  // respectively; PickNext composes the indexed (or reference) reserved pick with the
+  // shared fallback.
+  SimThread* PickReservedReference(TimePoint now);
+  SimThread* PickReservedIndexed();
+  SimThread* PickFallbackRoundRobin();
+  // Side-effect-free: would the round-robin fallback scan find a candidate? Used by
+  // shadow mode to validate the occupancy counts that gate the scan.
+  bool HasFallbackCandidate() const;
 
   const Cpu& cpu_;
   RbsConfig config_;
   std::vector<SimThread*> threads_;
   DeadlineMissFn miss_fn_;
   size_t rr_cursor_ = 0;  // Round-robin position among non-reserved threads.
+
+  // --- Indexed hot-path state ---
+  std::unordered_map<SimThread*, Node> nodes_;
+  std::set<PickKey> pick_index_;  // Eligible reserved threads (runnable, budget > 0).
+  std::priority_queue<DueEntry, std::vector<DueEntry>, std::greater<DueEntry>> due_;
+  std::vector<DueEntry> due_now_;  // OnTick's reused due-batch buffer.
+  // Secondary occupancy index for the round-robin fallback: how many runnable
+  // threads are non-reserved, and how many are reserved at all. Runnable reserved
+  // threads with exhausted budgets = counted_reserved_runnable - |pick_index_|,
+  // which is what work-conserving mode scans for.
+  int64_t runnable_unreserved_ = 0;
+  int64_t runnable_reserved_ = 0;
+  uint64_t next_seq_ = 1;
+  uint64_t next_gen_ = 1;
+  int64_t shadow_checks_ = 0;
 };
 
 }  // namespace realrate

@@ -39,6 +39,17 @@ class Scheduler {
   // counters...).
   virtual void OnTick(TimePoint now) = 0;
 
+  // Idle fast-forward catch-up (see Machine): the machine skipped `count` ticks, all
+  // of which would have found no runnable thread, and the last of which would have
+  // run at `now`. Must leave the scheduler in the state `count` OnTick calls ending
+  // at `now` would have, given that no thread was runnable throughout. The default
+  // replays OnTick literally; implementations with cheaper closed forms override.
+  virtual void OnTicksSkipped(int64_t count, TimePoint now) {
+    for (int64_t i = 0; i < count; ++i) {
+      OnTick(now);
+    }
+  }
+
   // The dispatch decision: the runnable thread with the highest goodness, or nullptr if
   // nothing is runnable. Must be deterministic.
   virtual SimThread* PickNext(TimePoint now) = 0;

@@ -10,17 +10,25 @@ EventId EventQueue::Push(TimePoint when, Callback fn) {
   RR_EXPECTS(fn != nullptr);
   const EventId id = next_id_++;
   heap_.push(Entry{when, id, std::move(fn)});
+  pending_.insert(id);
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) {
+  // Only live ids are tombstoned: a fired, unknown, or already-cancelled id is
+  // rejected outright, so `cancelled_` can never outgrow the heap it shadows.
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
     return false;
   }
-  // We cannot know cheaply whether the id is still pending; the cancelled set is
-  // consulted (and cleaned) at pop time. Inserting an already-fired id is harmless
-  // because fired ids are never reissued.
-  return cancelled_.insert(id).second;
+  pending_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+EventId EventQueue::Resched(EventId id, TimePoint when, Callback fn) {
+  Cancel(id);  // Tolerates a stale id: the common "clock already fired" race.
+  return Push(when, std::move(fn));
 }
 
 void EventQueue::SkimCancelled() {
@@ -32,11 +40,6 @@ void EventQueue::SkimCancelled() {
     cancelled_.erase(it);
     heap_.pop();
   }
-}
-
-bool EventQueue::Empty() {
-  SkimCancelled();
-  return heap_.empty();
 }
 
 TimePoint EventQueue::PeekTime() {
@@ -53,12 +56,8 @@ EventQueue::Popped EventQueue::Pop() {
   auto& top = const_cast<Entry&>(heap_.top());
   Popped out{top.id, top.when, std::move(top.fn)};
   heap_.pop();
+  pending_.erase(out.id);
   return out;
-}
-
-size_t EventQueue::PendingCount() {
-  SkimCancelled();
-  return heap_.size();
 }
 
 }  // namespace realrate

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/cpu.h"
@@ -57,6 +58,12 @@ class Simulator {
   // Schedules `fn` after `d` (must be non-negative).
   EventId ScheduleAfter(Duration d, EventQueue::Callback fn);
   bool Cancel(EventId id) { return events_.Cancel(id); }
+  // Retires `id` (if still pending) and schedules `fn` at `t` in one call — the
+  // decrease-key-free resched path for periodic clocks (dispatch ticks, timers).
+  EventId Resched(EventId id, TimePoint t, EventQueue::Callback fn) {
+    RR_EXPECTS(t >= now_);
+    return events_.Resched(id, t, std::move(fn));
+  }
 
   // Runs a single event; returns false if none pending.
   bool Step();

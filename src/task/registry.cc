@@ -10,6 +10,7 @@ SimThread* ThreadRegistry::Create(std::string name, std::unique_ptr<WorkModel> w
   const auto id = static_cast<ThreadId>(threads_.size());
   threads_.push_back(std::make_unique<SimThread>(id, std::move(name), std::move(work)));
   SimThread* thread = threads_.back().get();
+  raw_.push_back(thread);
   thread->work().Bind(thread);
   return thread;
 }
@@ -37,22 +38,5 @@ SimThread* ThreadRegistry::FindByName(const std::string& name) {
   return nullptr;
 }
 
-std::vector<SimThread*> ThreadRegistry::All() {
-  std::vector<SimThread*> out;
-  out.reserve(threads_.size());
-  for (auto& t : threads_) {
-    out.push_back(t.get());
-  }
-  return out;
-}
-
-std::vector<const SimThread*> ThreadRegistry::All() const {
-  std::vector<const SimThread*> out;
-  out.reserve(threads_.size());
-  for (const auto& t : threads_) {
-    out.push_back(t.get());
-  }
-  return out;
-}
 
 }  // namespace realrate

@@ -20,12 +20,15 @@ class ThreadRegistry {
   SimThread* FindByName(const std::string& name);
 
   size_t size() const { return threads_.size(); }
-  // Iteration in creation order (deterministic).
-  std::vector<SimThread*> All();
-  std::vector<const SimThread*> All() const;
+  // Iteration in creation order (deterministic). Returns a reference to the
+  // registry's own pointer index — O(1); the Machine walks this on hot paths
+  // (placement, rebalancing, idle-suspension checks), so no per-call vector is
+  // materialized. The reference is invalidated by Create().
+  const std::vector<SimThread*>& All() const { return raw_; }
 
  private:
   std::vector<std::unique_ptr<SimThread>> threads_;
+  std::vector<SimThread*> raw_;  // threads_[i].get(), maintained by Create().
 };
 
 }  // namespace realrate

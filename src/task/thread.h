@@ -105,6 +105,14 @@ class SimThread {
   int64_t deadline_misses() const { return deadline_misses_; }
   void CountDeadlineMiss() { ++deadline_misses_; }
 
+  // --- Scheduler-private slot ---
+  // Opaque per-thread state owned by the scheduler instance the thread is currently
+  // enqueued on (set by its AddThread, cleared by its RemoveThread). Exists so the
+  // dispatch hot path reaches its per-thread index node without a hash lookup; no
+  // one but the owning scheduler may interpret it. See RbsScheduler::Node.
+  void* sched_slot() const { return sched_slot_; }
+  void set_sched_slot(void* slot) { sched_slot_ = slot; }
+
   // --- Baseline-scheduler bookkeeping ---
   int priority() const { return priority_; }
   void set_priority(int p) { priority_ = p; }
@@ -168,6 +176,8 @@ class SimThread {
   TimePoint period_start_;
   TimePoint last_wake_time_;
   int64_t deadline_misses_ = 0;
+
+  void* sched_slot_ = nullptr;
 
   int priority_ = 0;
   int counter_ = 0;

@@ -18,6 +18,23 @@ namespace {
 constexpr uint64_t kFig6TraceHash = 10620758159328637066ull;
 constexpr uint64_t kFig7TraceHash = 1126479940020442005ull;
 
+// Server-farm pins (recorded at the commit that introduced the indexed dispatch hot
+// path): the same configurations produced identical hashes with idle fast-forward
+// on/off and with the indexed versus reference pick, so a mismatch here means the
+// farm's schedule drifted, not that one of those modes diverged — the per-test
+// asserts below keep the mode-equivalence claims pinned separately.
+constexpr uint64_t kFarm1CpuTraceHash = 6358072633097906862ull;
+constexpr uint64_t kFarm4CpuTraceHash = 18166534192866868973ull;
+
+ServerFarmParams FarmPinParams(int cpus) {
+  ServerFarmParams params;
+  params.num_cpus = cpus;
+  params.num_pipelines = cpus == 1 ? 48 : 192;
+  params.num_hogs = cpus;
+  params.run_for = Duration::Millis(250);
+  return params;
+}
+
 TEST(GoldenTraceTest, Fig6PulsePipelineScheduleIsPinned) {
   const PipelineResult result = RunPipelineScenario(PipelineParams{});
   EXPECT_EQ(result.trace_hash, kFig6TraceHash);
@@ -33,6 +50,47 @@ TEST(GoldenTraceTest, Fig7HogPipelineScheduleIsPinned) {
   EXPECT_EQ(result.trace_hash, kFig7TraceHash);
   // The hog soaks the spare capacity while the consumer keeps its real-rate share.
   EXPECT_GT(result.hog_final_alloc_ppt, result.consumer_final_alloc_ppt);
+}
+
+TEST(GoldenTraceTest, ServerFarmSingleCpuScheduleIsPinned) {
+  const ServerFarmResult result = RunServerFarmScenario(FarmPinParams(1));
+  EXPECT_EQ(result.trace_hash, kFarm1CpuTraceHash);
+  EXPECT_EQ(result.num_threads, 97);
+  // The farm actually flows: every pipeline's consumer made progress.
+  EXPECT_GT(result.total_consumed_bytes, 0);
+  // And the fast-forward machinery engaged (the pin covers its catch-up path, not
+  // just the always-busy schedule).
+  EXPECT_GT(result.idle_suspensions, 0);
+}
+
+TEST(GoldenTraceTest, ServerFarmFourCpuScheduleIsPinned) {
+  const ServerFarmResult result = RunServerFarmScenario(FarmPinParams(4));
+  EXPECT_EQ(result.trace_hash, kFarm4CpuTraceHash);
+  EXPECT_EQ(result.num_threads, 388);
+  EXPECT_GT(result.total_consumed_bytes, 0);
+  EXPECT_GT(result.idle_suspensions, 0);
+}
+
+TEST(GoldenTraceTest, ServerFarmHotPathModesAreTraceEquivalent) {
+  // The tentpole guarantee, pinned at scenario level: indexed pick vs reference scan
+  // and idle fast-forward on vs off schedule the farm bit-identically.
+  ServerFarmParams params = FarmPinParams(4);
+  params.run_for = Duration::Millis(120);
+  const ServerFarmResult indexed = RunServerFarmScenario(params);
+
+  ServerFarmParams reference = params;
+  reference.rbs.use_indexed_pick = false;
+  const ServerFarmResult ref = RunServerFarmScenario(reference);
+  EXPECT_EQ(indexed.trace_hash, ref.trace_hash);
+  EXPECT_EQ(indexed.total_dispatches, ref.total_dispatches);
+
+  ServerFarmParams no_ff = params;
+  no_ff.idle_fast_forward = false;
+  const ServerFarmResult eager = RunServerFarmScenario(no_ff);
+  EXPECT_EQ(indexed.trace_hash, eager.trace_hash);
+  EXPECT_EQ(indexed.total_dispatches, eager.total_dispatches);
+  EXPECT_EQ(indexed.total_consumed_bytes, eager.total_consumed_bytes);
+  EXPECT_EQ(eager.idle_suspensions, 0);  // The knob actually disables the machinery.
 }
 
 TEST(GoldenTraceTest, FigureScenariosAreRunToRunDeterministic) {

@@ -285,6 +285,39 @@ TEST(DifferentialRunnerTest, LotteryDrawsFromTheInjectedSeedOnly) {
   EXPECT_NE(hash_a, hash_b);
 }
 
+TEST(DifferentialRunnerTest, ShadowSchedulerAgreesOnOneHundredSeeds) {
+  // The shadow-scheduler pin for the indexed dispatch hot path: across 100 generated
+  // workloads (including the high-thread-count farm buckets), every RBS dispatch
+  // computes both the indexed pick and the reference O(n) scan pick and asserts they
+  // are identical — a mismatch aborts the process. The counters prove the shadow
+  // comparison actually ran, and ran on every core.
+  int64_t total_checks = 0;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    const WorkloadSpec spec = GenerateWorkload(seed);
+    RunOptions options;
+    options.kind = SchedulerKind::kFeedbackRbs;
+    options.rbs_shadow_check = true;
+    options.run_for_override = Duration::Millis(120);
+    const RunOutcome outcome = RunWorkload(spec, options);
+    EXPECT_GT(outcome.shadow_checks, 0) << "seed " << seed;
+    EXPECT_EQ(outcome.violation_count, 0) << "seed " << seed;
+    total_checks += outcome.shadow_checks;
+  }
+  EXPECT_GT(total_checks, 10'000);  // The pin has teeth: tens of thousands of picks.
+}
+
+TEST(DifferentialRunnerTest, ShadowModeDoesNotPerturbTheSchedule) {
+  // shadow_check must be a pure observer: the same spec with and without it produces
+  // the identical trace (it shares the run with the invariant battery, so any
+  // perturbation would silently weaken both).
+  const WorkloadSpec spec = GenerateWorkload(321);
+  RunOptions plain;
+  plain.run_for_override = Duration::Millis(200);
+  RunOptions shadowed = plain;
+  shadowed.rbs_shadow_check = true;
+  EXPECT_EQ(RunWorkload(spec, plain).trace_hash, RunWorkload(spec, shadowed).trace_hash);
+}
+
 TEST(DifferentialRunnerTest, CheckSeedPassesOnHealthySeeds) {
   for (const uint64_t seed : {7ull, 99ull, 1234ull}) {
     const SeedReport report = CheckSeed(seed);

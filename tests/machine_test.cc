@@ -1,6 +1,7 @@
 // Machine: dispatch loop, blocking/waking through queues, sleep timers, overhead
 // charging, context-switch accounting.
 #include <memory>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -33,16 +34,18 @@ struct MachineRig {
 };
 
 TEST(MachineTest, TicksAtDispatchInterval) {
+  // Machine::RunFor (not raw Simulator::RunFor) so idle fast-forward settles its
+  // catch-up before the counters are read.
   MachineRig rig;
   rig.machine->Start();
-  rig.sim.RunFor(Duration::Millis(100));
+  rig.machine->RunFor(Duration::Millis(100));
   EXPECT_EQ(rig.machine->ticks(), 100);
 }
 
 TEST(MachineTest, IdleCpuChargedWhenNothingRunnable) {
   MachineRig rig;
   rig.machine->Start();
-  rig.sim.RunFor(Duration::Millis(10));
+  rig.machine->RunFor(Duration::Millis(10));
   EXPECT_EQ(rig.sim.cpu().Used(CpuUse::kIdle), rig.sim.cpu().DurationToCycles(Duration::Millis(10)));
   EXPECT_EQ(rig.sim.cpu().Used(CpuUse::kUser), 0);
 }
@@ -208,6 +211,111 @@ TEST(MachineTest, ExitedThreadLeavesScheduler) {
   EXPECT_EQ(rig.sim.trace().Count(TraceKind::kExit, t->id()), 1);
   // Only the first tick's cycles were consumed.
   EXPECT_EQ(t->total_cycles(), rig.sim.cpu().DurationToCycles(Duration::Millis(1)));
+}
+
+TEST(MachineIdleFastForwardTest, SuspendsWhenNothingRunnableAndCatchUpIsExact) {
+  // An empty machine suspends its dispatch clocks after the first idle round; the
+  // end-of-run catch-up must reproduce every counter and charge a continuously
+  // ticking machine would show.
+  MachineRig eager;
+  eager.machine = std::make_unique<Machine>(
+      eager.sim, eager.rbs, eager.threads,
+      MachineConfig{.dispatch_interval = Duration::Millis(1),
+                    .charge_overheads = true,
+                    .idle_fast_forward = false});
+  MachineRig fast(/*charge_overheads=*/true);
+
+  for (MachineRig* rig : {&eager, &fast}) {
+    rig->machine->Start();
+    rig->machine->RunFor(Duration::Millis(500));
+  }
+  EXPECT_EQ(fast.machine->idle_suspended(), true);
+  EXPECT_GT(fast.machine->idle_suspensions(), 0);
+  EXPECT_EQ(eager.machine->idle_suspensions(), 0);
+  // Identical introspection...
+  EXPECT_EQ(fast.machine->ticks(), eager.machine->ticks());
+  EXPECT_EQ(fast.machine->dispatches(), eager.machine->dispatches());
+  // ...and identical accounting, category by category.
+  for (const CpuUse use : {CpuUse::kIdle, CpuUse::kDispatch, CpuUse::kTimer, CpuUse::kUser}) {
+    EXPECT_EQ(fast.sim.cpu().Used(use), eager.sim.cpu().Used(use))
+        << "category " << static_cast<int>(use);
+  }
+  // But the suspended machine did it with a fraction of the simulator events.
+  EXPECT_LT(fast.sim.events_processed(), eager.sim.events_processed() / 10);
+}
+
+TEST(MachineIdleFastForwardTest, SleeperHorizonWakesOnTimeAcrossSuspension) {
+  // A reserved thread throttled to sleep is the idle-fast-forward steady state: the
+  // machine must wake it at exactly the tick its period begins, via the horizon
+  // event, with the same schedule as an eagerly ticking machine.
+  auto run = [](bool ff) {
+    MachineRig rig;
+    rig.machine = std::make_unique<Machine>(
+        rig.sim, rig.rbs, rig.threads,
+        MachineConfig{.dispatch_interval = Duration::Millis(1),
+                      .charge_overheads = false,
+                      .idle_fast_forward = ff});
+    rig.sim.trace().SetEnabled(true);
+    SimThread* hog = rig.threads.Create("hog", std::make_unique<CpuHogWork>());
+    rig.machine->Attach(hog);
+    rig.rbs.SetReservation(hog, Proportion::Ppt(100), Duration::Millis(10), rig.sim.Now());
+    rig.machine->Start();
+    rig.machine->RunFor(Duration::Seconds(1));
+    return std::pair<uint64_t, Cycles>(rig.sim.trace().Hash(), hog->total_cycles());
+  };
+  const auto fast = run(true);
+  const auto eager = run(false);
+  EXPECT_EQ(fast.first, eager.first);
+  EXPECT_EQ(fast.second, eager.second);
+}
+
+TEST(MachineIdleFastForwardTest, OffGridStartKeepsSleeperWakesAligned) {
+  // Regression: the horizon event used to round sleeper wake times up to a multiple
+  // of the dispatch interval from simulator time zero, but the tick grid is anchored
+  // at Machine::Start — a machine started off-grid (t = 0.5 ms here, ticks at
+  // 0.5 + k ms) woke sleepers one interval late under fast-forward.
+  auto run = [](bool ff) {
+    MachineRig rig;
+    rig.machine = std::make_unique<Machine>(
+        rig.sim, rig.rbs, rig.threads,
+        MachineConfig{.dispatch_interval = Duration::Millis(1),
+                      .charge_overheads = false,
+                      .idle_fast_forward = ff});
+    SimThread* t = rig.threads.Create("sleeper", std::make_unique<CpuHogWork>());
+    rig.machine->Attach(t);
+    rig.sim.RunFor(Duration::Micros(500));  // Start off the ms grid.
+    rig.machine->Start();
+    rig.sim.RunFor(Duration::Micros(1800));  // Let a tick run, then sleep the thread.
+    rig.machine->SleepUntil(t, TimePoint::FromNanos(10'300'000));
+    rig.machine->RunFor(Duration::Millis(20));
+    return t->last_wake_time();
+  };
+  const TimePoint fast = run(true);
+  const TimePoint eager = run(false);
+  EXPECT_EQ(fast, eager);
+  // The servicing tick is the machine's own grid point at/after the wake time.
+  EXPECT_EQ(eager, TimePoint::FromNanos(10'500'000));
+}
+
+TEST(MachineIdleFastForwardTest, ExternalWakeResumesSuspendedMachine) {
+  // Fully quiescent suspension (no sleepers, no horizon event): an external queue
+  // push must restart the dispatch clocks at the next tick boundary.
+  MachineRig rig;
+  rig.sim.trace().SetEnabled(true);
+  BoundedBuffer* q = rig.queues.CreateQueue("q", 1'000);
+  rig.machine->Attach(q);
+  SimThread* consumer =
+      rig.threads.Create("consumer", std::make_unique<ConsumerWork>(q, 1'000));
+  rig.machine->Attach(consumer);
+  rig.machine->Start();
+  rig.machine->RunFor(Duration::Millis(20));
+  EXPECT_EQ(consumer->state(), ThreadState::kBlocked);
+  EXPECT_TRUE(rig.machine->idle_suspended());
+  EXPECT_EQ(rig.sim.pending_events(), 0u);  // No per-tick callbacks burning events.
+  q->TryPush(100);
+  EXPECT_FALSE(rig.machine->idle_suspended());
+  rig.machine->RunFor(Duration::Millis(5));
+  EXPECT_GT(consumer->total_cycles(), 0);
 }
 
 }  // namespace

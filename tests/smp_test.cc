@@ -44,7 +44,10 @@ struct SmpRig {
   }
 
   void Reserve(SimThread* t, int ppt) {
-    schedulers[0]->SetReservation(t, Proportion::Ppt(ppt), Duration::Millis(10), sim.Now());
+    // Actuate through the owning core's scheduler: the indexed run queues are
+    // maintained by the instance the thread was placed on.
+    schedulers[static_cast<size_t>(t->cpu())]->SetReservation(t, Proportion::Ppt(ppt),
+                                                              Duration::Millis(10), sim.Now());
   }
 };
 
