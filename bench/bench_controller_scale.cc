@@ -1,0 +1,224 @@
+// Control-plane scaling: the controller's staged Sample→Estimate→Resolve→Actuate
+// pipeline (core/controller.h) against the reference build (RunOnceReference — the
+// original monolithic sweep with O(cores·n) budget scans, full linkage sweeps, and
+// full-window evidence rescans every tick). Not a paper figure — the paper's machine
+// controls tens of threads — but the ROADMAP's production-scale demand: PR 4 made
+// *dispatch* scale to thousands of threads, which left the 100 Hz controller as the
+// hot path at farm scale. Both builds compute the *identical* control decisions (the
+// grants-equality column below, the golden farm mode-equivalence test, and the fuzz
+// battery's per-tick shadow + whole-run trace-equality oracles hold them bit-equal),
+// so every ratio is pure control-plane cost, not behavior drift.
+//
+// Two measurements:
+//   1. Control primitive: RunOnce throughput on an 8-core rig with 256/1024/4096
+//      controlled threads spanning all five paper classes, queues in steady state
+//      (the farm's common case: most ticks find most queues unmoved, which is
+//      exactly what the dirty-set sampler exploits). This is the >= 5x headline
+//      number, and the regression gate CI checks against
+//      BENCH_controller_baseline.json.
+//   2. Grants equality: twin rigs run the same tick count under each mode, then
+//      every thread's actuated proportion/period and the controller counters are
+//      compared — the bench re-verifies the bit-equality claim it benchmarks.
+//
+// The `CONTROLLER_SCALE ...` line is machine-readable: scripts/check_controller_scale.py
+// compares it against the committed BENCH_controller_baseline.json in CI and fails
+// on a > 2x throughput regression, a speedup below the pinned 5x bar, or any
+// grants-inequality — the sanitizer matrix runs the equality check alone.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "exp/system.h"
+#include "util/assert.h"
+#include "workloads/misc_work.h"
+
+namespace realrate {
+namespace {
+
+// An 8-core machine with `total` controlled threads: 50% real-rate (one registered
+// queue each, held near half full), 20% miscellaneous, 15% real-time and 10%
+// aperiodic real-time (1 ppt reservations, spread periods), 5% interactive. The
+// machine is not ticked — the rig isolates RunOnce cost, like the Fig. 5 overhead
+// bench — so queues sit in the steady state between controller ticks.
+struct ControllerRig {
+  std::unique_ptr<System> system;
+  int64_t ticks_run = 0;
+
+  explicit ControllerRig(bool use_pipeline, int total) {
+    SystemConfig config;
+    config.num_cpus = 8;
+    config.start_controller = false;
+    config.controller.use_pipeline = use_pipeline;
+    // Isolate the controller's own arithmetic: no overhead charge-back into the
+    // (idle) machine.
+    config.controller.charge_overhead = false;
+    system = std::make_unique<System>(config);
+    for (int i = 0; i < total; ++i) {
+      SimThread* t =
+          system->Spawn("t" + std::to_string(i), std::make_unique<CpuHogWork>());
+      switch (i % 20) {
+        case 0: case 1: case 2:  // 15% real-time.
+          RR_CHECK(system->controller().AddRealTime(t, Proportion::Ppt(1),
+                                                    Duration::Millis(5 + i % 28)));
+          break;
+        case 3: case 4:  // 10% aperiodic real-time.
+          RR_CHECK(system->controller().AddAperiodicRealTime(t, Proportion::Ppt(1)));
+          break;
+        case 5:  // 5% interactive.
+          system->controller().AddInteractive(t);
+          break;
+        case 6: case 7: case 8: case 9:  // 20% miscellaneous.
+          system->controller().AddMiscellaneous(t);
+          break;
+        default: {  // 50% real-rate, one half-full queue each.
+          BoundedBuffer* q = system->CreateQueue("q" + std::to_string(i), 1'000);
+          RR_CHECK(q->TryPush(500));
+          system->queues().Register(q, t->id(), QueueRole::kConsumer);
+          system->controller().AddRealRate(t);
+          break;
+        }
+      }
+    }
+  }
+
+  // One controller iteration at the next 10 ms grid point (virtual time does not
+  // otherwise advance: the rig measures the controller, not the machine).
+  void Tick() {
+    ++ticks_run;
+    system->controller().RunOnce(TimePoint::Origin() +
+                                 Duration::Millis(10 * ticks_run));
+  }
+};
+
+// RunOnce calls per wall-second, measured over a fixed wall budget after a warmup
+// that fills the quality windows and settles the estimators (so the reference pays
+// its steady-state full-window rescan, not a cheap growing one).
+double MeasureRunOnceThroughput(bool use_pipeline, int total, double budget_s) {
+  ControllerRig rig(use_pipeline, total);
+  for (int i = 0; i < 300; ++i) {
+    rig.Tick();
+  }
+  int64_t iterations = 0;
+  const auto start = std::chrono::steady_clock::now();
+  double wall = 0.0;
+  do {
+    for (int i = 0; i < 10; ++i) {
+      rig.Tick();
+    }
+    iterations += 10;
+    wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  } while (wall < budget_s);
+  return static_cast<double>(iterations) / wall;
+}
+
+// Twin rigs, identical tick counts, both modes: every actuated grant, period, and
+// controller counter must agree bit-for-bit.
+bool GrantsEqualAfter(int total, int ticks) {
+  ControllerRig pipeline(/*use_pipeline=*/true, total);
+  ControllerRig reference(/*use_pipeline=*/false, total);
+  for (int i = 0; i < ticks; ++i) {
+    pipeline.Tick();
+    reference.Tick();
+  }
+  FeedbackAllocator& p = pipeline.system->controller();
+  FeedbackAllocator& r = reference.system->controller();
+  if (p.squish_events() != r.squish_events() ||
+      p.quality_exceptions() != r.quality_exceptions()) {
+    return false;
+  }
+  const auto& threads = pipeline.system->threads().All();
+  const auto& ref_threads = reference.system->threads().All();
+  for (size_t i = 0; i < threads.size(); ++i) {
+    const ThreadId id = threads[i]->id();
+    if (threads[i]->proportion() != ref_threads[i]->proportion() ||
+        threads[i]->period() != ref_threads[i]->period() ||
+        p.GrantedFraction(id) != r.GrantedFraction(id) ||
+        p.DesiredFraction(id) != r.DesiredFraction(id)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// `equality_only` (the sanitizer-matrix CI gate) skips the wall-clock throughput
+// measurement — meaningless under ASan and expensive in the reference mode — and
+// runs just the twin-rig grants comparison.
+void PrintControllerScale(bool equality_only) {
+  bench::PrintHeader(
+      "Control plane: RunOnce throughput, 8-core rig, all five thread classes\n"
+      "staged pipeline (ledger + dirty-set + O(1) evidence) vs reference sweep");
+  std::printf("  %8s %18s %18s %9s %13s\n", "threads", "pipeline run/ws",
+              "reference run/ws", "speedup", "grants equal");
+  double speedup_4096 = 0.0;
+  double pipeline_4096 = 0.0;
+  double reference_4096 = 0.0;
+  bool all_equal = true;
+  for (const int total : {256, 1024, 4096}) {
+    const double pipeline =
+        equality_only ? 0.0 : MeasureRunOnceThroughput(true, total, /*budget_s=*/0.3);
+    const double reference =
+        equality_only ? 0.0 : MeasureRunOnceThroughput(false, total, /*budget_s=*/0.3);
+    const bool equal = GrantsEqualAfter(total, /*ticks=*/350);
+    all_equal = all_equal && equal;
+    std::printf("  %8d %18.0f %18.0f %8.2fx %13s\n", total, pipeline, reference,
+                reference > 0 ? pipeline / reference : 0.0, equal ? "yes" : "NO!");
+    if (total == 4096) {
+      speedup_4096 = reference > 0 ? pipeline / reference : 0.0;
+      pipeline_4096 = pipeline;
+      reference_4096 = reference;
+    }
+  }
+  std::printf("\n  4096-thread RunOnce speedup: %.1fx\n", speedup_4096);
+  // Machine-readable line for scripts/check_controller_scale.py (CI gate).
+  std::printf("CONTROLLER_SCALE threads=4096 pipeline_runonce_per_wsec=%.0f "
+              "reference_runonce_per_wsec=%.0f speedup=%.2f grants_equal=%d\n\n",
+              pipeline_4096, reference_4096, speedup_4096, all_equal ? 1 : 0);
+}
+
+template <bool kPipeline>
+void BM_ControllerRunOnce(benchmark::State& state) {
+  const int total = static_cast<int>(state.range(0));
+  ControllerRig rig(kPipeline, total);
+  for (int i = 0; i < 300; ++i) {
+    rig.Tick();
+  }
+  for (auto _ : state) {
+    rig.Tick();
+    benchmark::DoNotOptimize(rig.ticks_run);
+  }
+  state.counters["threads"] = total;
+}
+void BM_RunOncePipeline(benchmark::State& state) { BM_ControllerRunOnce<true>(state); }
+void BM_RunOnceReference(benchmark::State& state) { BM_ControllerRunOnce<false>(state); }
+BENCHMARK(BM_RunOncePipeline)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RunOnceReference)->Arg(256)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace realrate
+
+int main(int argc, char** argv) {
+  bool equality_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--equality-only") {
+      equality_only = true;
+      // Strip the flag so google-benchmark's Initialize doesn't reject it.
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      break;
+    }
+  }
+  realrate::PrintControllerScale(equality_only);
+  if (equality_only) {
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "core/control_pipeline.h"
+
+namespace realrate {
+
+BoundedBuffer* StaticSaturatedQueue(const std::vector<QueueLinkage>& linkages,
+                                    double fill_extreme) {
+  for (const QueueLinkage& l : linkages) {
+    if (FillStarved(l, fill_extreme)) {
+      return l.queue;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace realrate

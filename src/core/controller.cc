@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/overload.h"
 #include "core/pressure.h"
 #include "util/assert.h"
 #include "util/log.h"
@@ -16,11 +15,26 @@ FeedbackAllocator::FeedbackAllocator(Machine& machine, RbsScheduler& rbs, QueueR
       rbs_(rbs),
       queues_(queues),
       config_(config),
-      overload_threshold_(config.overload_threshold) {
+      overload_threshold_(config.overload_threshold),
+      ledger_(machine.num_cpus()),
+      core_requests_(static_cast<size_t>(machine.num_cpus())),
+      core_slots_(static_cast<size_t>(machine.num_cpus())),
+      core_grants_(static_cast<size_t>(machine.num_cpus())) {
   RR_EXPECTS(config.interval.IsPositive());
   RR_EXPECTS(config.overload_threshold > 0 && config.overload_threshold <= 1.0);
   WireScheduler(rbs_);
+  // Keep the ledger registered with where each fixed reservation's proportion is
+  // drawn from: the rebalancer (and PlaceAndAdmit's steering) migrate threads
+  // between cores without going through this controller.
+  machine_.SetMigrationHook([this](SimThread* thread, CpuId from, CpuId to) {
+    const Controlled* c = Find(thread->id());
+    if (c != nullptr && IsFixedClass(c->cls)) {
+      ledger_.MoveFixed(from, to, c->fixed_ppt);
+    }
+  });
 }
+
+FeedbackAllocator::~FeedbackAllocator() { machine_.SetMigrationHook(nullptr); }
 
 void FeedbackAllocator::WireScheduler(RbsScheduler& rbs) {
   rbs.SetDeadlineMissFn([this](SimThread* t, Cycles shortfall, TimePoint now) {
@@ -30,8 +44,12 @@ void FeedbackAllocator::WireScheduler(RbsScheduler& rbs) {
 }
 
 RbsScheduler& FeedbackAllocator::SchedulerFor(const SimThread* thread) {
-  const auto core = static_cast<size_t>(thread->cpu());
-  return core < schedulers_.size() ? *schedulers_[core] : rbs_;
+  return SchedulerForCore(thread->cpu());
+}
+
+RbsScheduler& FeedbackAllocator::SchedulerForCore(CpuId core) {
+  const auto index = static_cast<size_t>(core);
+  return index < schedulers_.size() ? *schedulers_[index] : rbs_;
 }
 
 void FeedbackAllocator::Start() {
@@ -50,39 +68,80 @@ void FeedbackAllocator::ScheduleNext() {
 }
 
 FeedbackAllocator::Controlled* FeedbackAllocator::Find(ThreadId id) {
-  for (Controlled& c : controlled_) {
-    if (c.thread->id() == id) {
-      return &c;
-    }
-  }
-  return nullptr;
+  const auto it = slot_of_.find(id);
+  return it == slot_of_.end() ? nullptr : &controlled_[it->second];
 }
 
 const FeedbackAllocator::Controlled* FeedbackAllocator::Find(ThreadId id) const {
-  for (const Controlled& c : controlled_) {
-    if (c.thread->id() == id) {
-      return &c;
-    }
-  }
-  return nullptr;
+  const auto it = slot_of_.find(id);
+  return it == slot_of_.end() ? nullptr : &controlled_[it->second];
 }
 
-double FeedbackAllocator::FixedReservedSum() const {
-  double sum = 0.0;
+void FeedbackAllocator::RegisterControlled(Controlled&& c) {
+  if (IsFixedClass(c.cls)) {
+    ledger_.AddFixed(c.thread->cpu(), c.fixed_ppt);
+  }
+  controlled_.push_back(std::move(c));
+  slot_of_[controlled_.back().thread->id()] = controlled_.size() - 1;
+}
+
+void FeedbackAllocator::RemoveSlot(size_t slot) {
+  RR_EXPECTS(slot < controlled_.size());
+  Controlled& victim = controlled_[slot];
+  if (IsFixedClass(victim.cls)) {
+    ledger_.RemoveFixed(victim.thread->cpu(), victim.fixed_ppt);
+  }
+  slot_of_.erase(victim.thread->id());
+  const size_t last = controlled_.size() - 1;
+  if (slot != last) {
+    controlled_[slot] = std::move(controlled_[last]);
+    slot_of_[controlled_[slot].thread->id()] = slot;
+  }
+  controlled_.pop_back();
+}
+
+void FeedbackAllocator::RebuildSlotIndex() {
+  slot_of_.clear();
+  for (size_t i = 0; i < controlled_.size(); ++i) {
+    slot_of_[controlled_[i].thread->id()] = i;
+  }
+}
+
+// Order-preserving, unlike Remove's last-slot swap: within one run the surviving
+// threads keep their squish enumeration order, exactly as the original erase did.
+void FeedbackAllocator::DropExited() {
+  bool any = false;
   for (const Controlled& c : controlled_) {
-    if (c.cls == ThreadClass::kRealTime || c.cls == ThreadClass::kAperiodicRealTime) {
-      sum += c.fixed_fraction;
+    if (c.thread->HasExited()) {
+      any = true;
+      break;
     }
   }
-  return sum;
+  if (!any) {
+    return;
+  }
+  for (const Controlled& c : controlled_) {
+    if (c.thread->HasExited() && IsFixedClass(c.cls)) {
+      ledger_.RemoveFixed(c.thread->cpu(), c.fixed_ppt);
+    }
+  }
+  controlled_.erase(std::remove_if(controlled_.begin(), controlled_.end(),
+                                   [](const Controlled& c) { return c.thread->HasExited(); }),
+                    controlled_.end());
+  RebuildSlotIndex();
 }
+
+double FeedbackAllocator::FixedReservedSum() const { return ledger_.FixedFractionTotal(); }
 
 double FeedbackAllocator::FixedReservedSumOnCore(CpuId core) const {
-  double sum = 0.0;
+  return ledger_.FixedFractionOn(core);
+}
+
+int64_t FeedbackAllocator::FixedPptOnCoreScan(CpuId core) const {
+  int64_t sum = 0;
   for (const Controlled& c : controlled_) {
-    if ((c.cls == ThreadClass::kRealTime || c.cls == ThreadClass::kAperiodicRealTime) &&
-        c.thread->cpu() == core) {
-      sum += c.fixed_fraction;
+    if (IsFixedClass(c.cls) && c.thread->cpu() == core) {
+      sum += c.fixed_ppt;
     }
   }
   return sum;
@@ -92,24 +151,25 @@ double FeedbackAllocator::FixedReservedSumOnCore(CpuId core) const {
 // budget; only when that core would reject the request and the core with the most
 // unreserved fixed capacity would accept it is the thread migrated there first — a
 // reservation that fits where the thread already sits never moves. On one core this
-// is the paper's admission test unchanged.
+// is the paper's admission test unchanged. O(cores): the per-core sums are ledger
+// reads, not sweeps over the controlled set.
 bool FeedbackAllocator::PlaceAndAdmit(SimThread* thread, double request) {
   if (machine_.num_cpus() > 1) {
     CpuId best = thread->cpu();
-    double best_fixed = FixedReservedSumOnCore(best);
+    double best_fixed = ledger_.FixedFractionOn(best);
     for (CpuId c = 0; c < machine_.num_cpus(); ++c) {
-      const double fixed = FixedReservedSumOnCore(c);
+      const double fixed = ledger_.FixedFractionOn(c);
       if (fixed < best_fixed - 1e-12) {
         best = c;
         best_fixed = fixed;
       }
     }
     if (best != thread->cpu() && AdmitRealTime(best_fixed, request, overload_threshold_) &&
-        !AdmitRealTime(FixedReservedSumOnCore(thread->cpu()), request, overload_threshold_)) {
+        !AdmitRealTime(ledger_.FixedFractionOn(thread->cpu()), request, overload_threshold_)) {
       machine_.Migrate(thread, best);
     }
   }
-  return AdmitRealTime(FixedReservedSumOnCore(thread->cpu()), request, overload_threshold_);
+  return AdmitRealTime(ledger_.FixedFractionOn(thread->cpu()), request, overload_threshold_);
 }
 
 bool FeedbackAllocator::AddRealTime(SimThread* thread, Proportion proportion, Duration period) {
@@ -125,13 +185,13 @@ bool FeedbackAllocator::AddRealTime(SimThread* thread, Proportion proportion, Du
   c.thread = thread;
   c.cls = ThreadClass::kRealTime;
   c.period = period;
-  c.fixed_fraction = request;
+  c.fixed_ppt = proportion.ppt();
   c.desired = c.granted = request;
   thread->set_thread_class(ThreadClass::kRealTime);
   SchedulerFor(thread).SetReservation(thread, proportion, period, machine_.sim().Now());
   machine_.sim().trace().Record(machine_.sim().Now(), TraceKind::kAdmitted, thread->id(),
                                 proportion.ppt());
-  controlled_.push_back(std::move(c));
+  RegisterControlled(std::move(c));
   return true;
 }
 
@@ -150,13 +210,13 @@ bool FeedbackAllocator::AddAperiodicRealTime(SimThread* thread, Proportion propo
   // "Without a progress metric with which to assess the application's needs, our
   // prototype uses a default value of 30 milliseconds."
   c.period = config_.default_period;
-  c.fixed_fraction = request;
+  c.fixed_ppt = proportion.ppt();
   c.desired = c.granted = request;
   thread->set_thread_class(ThreadClass::kAperiodicRealTime);
   SchedulerFor(thread).SetReservation(thread, proportion, c.period, machine_.sim().Now());
   machine_.sim().trace().Record(machine_.sim().Now(), TraceKind::kAdmitted, thread->id(),
                                 proportion.ppt());
-  controlled_.push_back(std::move(c));
+  RegisterControlled(std::move(c));
   return true;
 }
 
@@ -181,7 +241,7 @@ void FeedbackAllocator::AddRealRate(SimThread* thread) {
   c.desired = c.granted = config_.estimator.min_fraction;
   thread->set_thread_class(ThreadClass::kRealRate);
   Actuate(c, c.granted, machine_.sim().Now());
-  controlled_.push_back(std::move(c));
+  RegisterControlled(std::move(c));
 }
 
 void FeedbackAllocator::AddMiscellaneous(SimThread* thread) {
@@ -195,7 +255,7 @@ void FeedbackAllocator::AddMiscellaneous(SimThread* thread) {
   c.desired = c.granted = config_.estimator.min_fraction;
   thread->set_thread_class(ThreadClass::kMiscellaneous);
   Actuate(c, c.granted, machine_.sim().Now());
-  controlled_.push_back(std::move(c));
+  RegisterControlled(std::move(c));
 }
 
 void FeedbackAllocator::AddInteractive(SimThread* thread) {
@@ -210,15 +270,332 @@ void FeedbackAllocator::AddInteractive(SimThread* thread) {
   c.desired = c.granted = config_.estimator.min_fraction;
   thread->set_thread_class(ThreadClass::kInteractive);
   Actuate(c, c.granted, machine_.sim().Now());
-  controlled_.push_back(std::move(c));
+  RegisterControlled(std::move(c));
 }
 
 void FeedbackAllocator::Remove(SimThread* thread) {
   RR_EXPECTS(thread != nullptr);
-  controlled_.erase(std::remove_if(controlled_.begin(), controlled_.end(),
-                                   [thread](const Controlled& c) { return c.thread == thread; }),
-                    controlled_.end());
+  const auto it = slot_of_.find(thread->id());
+  if (it == slot_of_.end()) {
+    return;
+  }
+  RemoveSlot(it->second);
 }
+
+void FeedbackAllocator::EnsureQualityWindow(Controlled& c) {
+  if (c.quality_window == nullptr) {
+    c.quality_window = std::make_unique<SaturationWindow>(
+        static_cast<size_t>(10 * config_.quality_patience));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The staged pipeline.
+// ---------------------------------------------------------------------------
+
+void FeedbackAllocator::RunOnce(TimePoint now) {
+  if (config_.use_pipeline) {
+    RunOncePipeline(now);
+  } else {
+    RunOnceReference(now);
+  }
+}
+
+void FeedbackAllocator::RunOncePipeline(TimePoint now) {
+  ++invocations_;
+  // If the machine's dispatch clocks are idle-suspended, settle the elided ticks
+  // before sampling or actuating: budgets and period phases must read exactly as a
+  // continuously ticking machine would present them at this instant.
+  machine_.SyncSkippedTicks(now);
+  const double dt = config_.interval.ToSeconds();
+
+  DropExited();
+  SampleStage();
+  EstimateStage(dt, now);
+  ResolveStage();
+  ActuateStage(now);
+
+  // The controller's own cost (Fig. 5): fixed + per-controlled-thread.
+  if (config_.charge_overhead) {
+    machine_.StealCycles(CpuUse::kController,
+                         machine_.sim().cpu().ControllerCost(static_cast<int>(controlled_.size())));
+  }
+
+  if (post_run_hook_) {
+    post_run_hook_(now);
+  }
+}
+
+void FeedbackAllocator::SampleStage() {
+  // CPU each thread actually used last interval, as a fraction of the interval.
+  const auto interval_cycles =
+      static_cast<double>(machine_.sim().cpu().DurationToCycles(config_.interval));
+  for (Controlled& c : controlled_) {
+    c.tick_used_fraction = static_cast<double>(c.thread->TakeWindowCycles()) / interval_cycles;
+    c.tick_clean = false;
+    if (c.cls != ThreadClass::kRealRate) {
+      continue;
+    }
+    // Dirty-set check: if the linkage list and every linked queue kept their change
+    // epochs since the previous tick, the pressure (a pure function of queue fills)
+    // is provably the cached value — skip the sweep.
+    if (c.linkage_cache.IsClean(queues_, c.thread->id())) {
+      c.tick_clean = true;
+      ++clean_samples_;
+      c.last_pressure = c.linkage_cache.pressure;
+      if (config_.shadow_check) {
+        RR_CHECK(c.last_pressure == RawPressure(queues_, c.thread->id()));
+        ++shadow_checks_;
+      }
+    } else {
+      ++dirty_samples_;
+      const auto& linkages = c.linkage_cache.Refresh(queues_, c.thread->id());
+      c.last_pressure = RawPressure(linkages);
+      c.linkage_cache.pressure = c.last_pressure;
+    }
+  }
+}
+
+void FeedbackAllocator::EstimateStage(double dt, TimePoint now) {
+  for (Controlled& c : controlled_) {
+    switch (c.cls) {
+      case ThreadClass::kRealTime:
+      case ThreadClass::kAperiodicRealTime:
+        // Reservations are not adapted: "the controller sets the thread proportion
+        // and period to the specified amount and does not modify them in practice."
+        c.desired = c.FixedFraction();
+        c.last_pressure = 0.0;
+        continue;
+      case ThreadClass::kRealRate:
+        break;  // Pressure sampled by SampleStage.
+      case ThreadClass::kMiscellaneous:
+        // Constant pressure "to allocate more CPU to a miscellaneous thread, until it
+        // is either satisfied or the CPU becomes oversubscribed." Satisfaction shows
+        // up as under-use, which the estimator's reclaim branch converts into a
+        // reduction.
+        c.last_pressure = config_.misc_pressure;
+        break;
+      case ThreadClass::kInteractive: {
+        // Proportion from the measured run-before-block burst: enough allocation to
+        // serve one typical burst within one (small) period, plus headroom. A thread
+        // saturating its grant (backlogged, never blocking) has no measurable burst
+        // yet, so its allocation doubles until it starts blocking between events —
+        // the bootstrap of the "time they typically run before blocking" measurement.
+        const auto period_cycles =
+            static_cast<double>(machine_.sim().cpu().DurationToCycles(c.period));
+        double need =
+            config_.interactive_headroom * c.thread->burst_ewma_cycles() / period_cycles;
+        const bool saturated =
+            c.granted > 0 && c.tick_used_fraction >= 0.9 * c.granted;
+        if (saturated) {
+          need = std::max(need, c.granted * 2.0);
+        }
+        c.desired = std::clamp(need, config_.estimator.min_fraction,
+                               config_.estimator.max_fraction);
+        c.last_pressure = 0.0;
+        continue;
+      }
+    }
+    c.desired = c.estimator->Step(c.last_pressure, c.tick_used_fraction, c.granted, dt);
+
+    if (c.cls == ThreadClass::kRealRate && config_.enable_period_estimation) {
+      // SampleStage validated (or refreshed) the cache this tick; no need to
+      // re-resolve the registry's per-thread index.
+      const auto& linkages = *c.linkage_cache.linkages;
+      if (!linkages.empty()) {
+        c.fill_window->Push(linkages.front().queue->FillFraction());
+      }
+      if (now - c.last_period_mark >= c.period) {
+        ApplyPeriodEstimation(c, now);
+        c.last_period_mark = now;
+      }
+    }
+  }
+}
+
+void FeedbackAllocator::ResolveStage() {
+  // One pass buckets every adaptive thread's request under its core, preserving the
+  // controlled-set enumeration order within each core — the order the reference
+  // sweep's per-core filter scan produces, which the squish arithmetic depends on.
+  const int cores = machine_.num_cpus();
+  for (int core = 0; core < cores; ++core) {
+    core_requests_[static_cast<size_t>(core)].clear();
+    core_slots_[static_cast<size_t>(core)].clear();
+    core_grants_[static_cast<size_t>(core)].clear();
+    ledger_.SetGranted(core, 0.0);
+  }
+  for (size_t slot = 0; slot < controlled_.size(); ++slot) {
+    Controlled& c = controlled_[slot];
+    if (!IsAdaptiveClass(c.cls)) {
+      continue;
+    }
+    const auto core = static_cast<size_t>(c.thread->cpu());
+    core_requests_[core].push_back({c.thread->id(), c.desired, c.thread->importance(),
+                                    config_.estimator.min_fraction});
+    core_slots_[core].push_back(slot);
+  }
+
+  // Fixed reservations are untouchable; the adaptive classes on each core share what
+  // remains of that core's budget. The squish math is the paper's uniprocessor logic
+  // applied within one core's overload threshold; cross-core balancing is the
+  // Machine's rebalancer's job, not the squisher's.
+  bool any_overload = false;
+  for (CpuId core = 0; core < cores; ++core) {
+    const auto& requests = core_requests_[static_cast<size_t>(core)];
+    if (requests.empty()) {
+      continue;
+    }
+    if (config_.shadow_check) {
+      RR_CHECK(ledger_.fixed_ppt_on(core) == FixedPptOnCoreScan(core));
+      ++shadow_checks_;
+    }
+    const double available = overload_threshold_ - ledger_.FixedFractionOn(core);
+    double desired_sum = 0.0;
+    for (const SquishRequest& r : requests) {
+      desired_sum += r.desired;
+    }
+    const std::vector<SquishResult> grants = Squish(requests, std::max(0.0, available));
+    if (desired_sum > available) {
+      any_overload = true;
+    }
+    RR_CHECK(grants.size() == core_slots_[static_cast<size_t>(core)].size());
+    double granted_sum = 0.0;
+    for (const SquishResult& g : grants) {
+      core_grants_[static_cast<size_t>(core)].push_back(g.granted);
+      granted_sum += g.granted;
+    }
+    ledger_.SetGranted(core, granted_sum);
+  }
+  if (any_overload) {
+    ++squish_events_;
+  }
+}
+
+void FeedbackAllocator::ActuateStage(TimePoint now) {
+  const int cores = machine_.num_cpus();
+  for (CpuId core = 0; core < cores; ++core) {
+    const auto& slots = core_slots_[static_cast<size_t>(core)];
+    if (slots.empty()) {
+      continue;
+    }
+    const auto& grants = core_grants_[static_cast<size_t>(core)];
+    batch_.clear();
+    for (size_t i = 0; i < slots.size(); ++i) {
+      Controlled& c = controlled_[slots[i]];
+      const double fraction = grants[i];
+      const Proportion p = Proportion::FromFraction(fraction);
+      c.granted = fraction;
+      if (c.thread->policy() == SchedPolicy::kReservation && c.thread->proportion() == p &&
+          c.thread->period() == c.period) {
+        continue;  // No change; avoid perturbing the budget.
+      }
+      batch_.push_back({c.thread, p, c.period});
+    }
+    if (batch_.empty()) {
+      continue;
+    }
+    // One batched call per core instead of one scheduler call per changed thread
+    // (each update still pays its own O(log n) index maintenance inside).
+    SchedulerForCore(core).ApplyReservations(batch_, now);
+    for (const ReservationUpdate& u : batch_) {
+      machine_.sim().trace().Record(now, TraceKind::kAllocationSet, u.thread->id(),
+                                    u.proportion.ppt(), u.period.nanos());
+      // A thread sleeping out an exhausted budget deserves to run again if the
+      // controller just raised its allocation.
+      if (u.thread->state() == ThreadState::kSleeping && u.thread->budget_remaining() > 0) {
+        machine_.CancelSleep(u.thread);
+      }
+    }
+  }
+
+  // Post-grant quality audit: saturation evidence is judged against this tick's
+  // resolved grants, exactly where the reference sweep's quality phase sits.
+  for (Controlled& c : controlled_) {
+    QualityAudit(c, now);
+  }
+}
+
+BoundedBuffer* FeedbackAllocator::GatherSaturation(Controlled& c) {
+  // Only reached on dirty ticks, where SampleStage just refreshed the cache:
+  // reuse its validated linkage reference instead of re-resolving the registry.
+  const auto& linkages = *c.linkage_cache.linkages;
+  c.last_full_hits.resize(linkages.size(), 0);
+  c.last_empty_hits.resize(linkages.size(), 0);
+  BoundedBuffer* saturated = nullptr;
+  BoundedBuffer* static_saturated = nullptr;
+  for (size_t i = 0; i < linkages.size(); ++i) {
+    const QueueLinkage& l = linkages[i];
+    const bool full_hit = l.queue->full_hits() > c.last_full_hits[i];
+    const bool empty_hit = l.queue->empty_hits() > c.last_empty_hits[i];
+    c.last_full_hits[i] = l.queue->full_hits();
+    c.last_empty_hits[i] = l.queue->empty_hits();
+    // A consumer that cannot keep up sees its input pinned full (or its upstream
+    // producer bouncing off a full queue); a producer that cannot keep up sees its
+    // output pinned empty (or its downstream consumer finding nothing).
+    const bool fill_starved = FillStarved(l, config_.quality_fill_extreme);
+    const bool starved =
+        fill_starved || (l.role == QueueRole::kConsumer ? full_hit : empty_hit);
+    if (starved && saturated == nullptr) {
+      saturated = l.queue;
+    }
+    if (fill_starved && static_saturated == nullptr) {
+      static_saturated = l.queue;
+    }
+  }
+  // Cache the fill-only verdict: on a clean tick the hit deltas are zero by
+  // definition, so this is exactly what the full sweep would conclude.
+  c.linkage_cache.static_saturated = static_saturated;
+  return saturated;
+}
+
+void FeedbackAllocator::QualityAudit(Controlled& c, TimePoint now) {
+  if (c.cls != ThreadClass::kRealRate) {
+    return;
+  }
+  EnsureQualityWindow(c);
+
+  BoundedBuffer* saturated = nullptr;
+  if (c.tick_clean) {
+    saturated = c.linkage_cache.static_saturated;
+    if (config_.shadow_check) {
+      RR_CHECK(saturated == StaticSaturatedQueue(queues_.LinkagesFor(c.thread->id()),
+                                                 config_.quality_fill_extreme));
+      ++shadow_checks_;
+    }
+  } else {
+    saturated = GatherSaturation(c);
+  }
+
+  // A thread can only be starved by the CPU if its allocation is the limiting factor:
+  // it was squished below its desire, or its desire is pinned at the ceiling. Without
+  // this gate, routine queue-drain events in healthy pipelines would look like
+  // starvation.
+  const bool allocation_limited = c.granted < c.desired - 1e-9 ||
+                                  c.desired >= config_.estimator.max_fraction - 1e-9;
+  c.quality_window->Push((allocation_limited && saturated != nullptr) ? 1 : 0);
+
+  const int evidence = c.quality_window->evidence();
+  if (config_.shadow_check) {
+    RR_CHECK(evidence == c.quality_window->ScanEvidence());
+    ++shadow_checks_;
+  }
+  if (evidence >= config_.quality_patience && saturated != nullptr) {
+    c.quality_window->Clear();
+    ++quality_exceptions_;
+    machine_.sim().trace().Record(now, TraceKind::kQualityException, c.thread->id(),
+                                  saturated->id());
+    if (quality_fn_) {
+      quality_fn_(QualityException{now, c.thread, saturated});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The reference sweep: the original monolithic RunOnce, kept as the oracle and the
+// bench_controller_scale comparison baseline. Schedules bit-identically to the
+// pipeline; differs only in cost (per-call budget scans, full linkage sweeps every
+// tick, full-window evidence rescans, per-thread actuation calls).
+// ---------------------------------------------------------------------------
 
 void FeedbackAllocator::SampleAndEstimate(Controlled& c, double dt, TimePoint now) {
   // CPU the thread actually used last interval, as a fraction of the interval.
@@ -229,26 +606,16 @@ void FeedbackAllocator::SampleAndEstimate(Controlled& c, double dt, TimePoint no
   switch (c.cls) {
     case ThreadClass::kRealTime:
     case ThreadClass::kAperiodicRealTime:
-      // Reservations are not adapted: "the controller sets the thread proportion and
-      // period to the specified amount and does not modify them in practice."
-      c.desired = c.fixed_fraction;
+      c.desired = c.FixedFraction();
       c.last_pressure = 0.0;
       return;
     case ThreadClass::kRealRate:
       c.last_pressure = RawPressure(queues_, c.thread->id());
       break;
     case ThreadClass::kMiscellaneous:
-      // Constant pressure "to allocate more CPU to a miscellaneous thread, until it is
-      // either satisfied or the CPU becomes oversubscribed." Satisfaction shows up as
-      // under-use, which the estimator's reclaim branch converts into a reduction.
       c.last_pressure = config_.misc_pressure;
       break;
     case ThreadClass::kInteractive: {
-      // Proportion from the measured run-before-block burst: enough allocation to
-      // serve one typical burst within one (small) period, plus headroom. A thread
-      // saturating its grant (backlogged, never blocking) has no measurable burst yet,
-      // so its allocation doubles until it starts blocking between events — the
-      // bootstrap of the "time they typically run before blocking" measurement.
       const auto period_cycles =
           static_cast<double>(machine_.sim().cpu().DurationToCycles(c.period));
       double need =
@@ -302,10 +669,7 @@ void FeedbackAllocator::CheckQuality(Controlled& c, TimePoint now) {
   if (c.cls != ThreadClass::kRealRate) {
     return;
   }
-  if (c.quality_window == nullptr) {
-    c.quality_window = std::make_unique<RingBuffer<uint8_t>>(
-        static_cast<size_t>(10 * config_.quality_patience));
-  }
+  EnsureQualityWindow(c);
 
   // Gather this interval's saturation evidence regardless of gating so the hit
   // counters stay current.
@@ -320,9 +684,6 @@ void FeedbackAllocator::CheckQuality(Controlled& c, TimePoint now) {
     const bool empty_hit = l.queue->empty_hits() > c.last_empty_hits[i];
     c.last_full_hits[i] = l.queue->full_hits();
     c.last_empty_hits[i] = l.queue->empty_hits();
-    // A consumer that cannot keep up sees its input pinned full (or its upstream
-    // producer bouncing off a full queue); a producer that cannot keep up sees its
-    // output pinned empty (or its downstream consumer finding nothing).
     const bool starved = (l.role == QueueRole::kConsumer)
                              ? (fill >= config_.quality_fill_extreme || full_hit)
                              : (fill <= 1.0 - config_.quality_fill_extreme || empty_hit);
@@ -331,18 +692,12 @@ void FeedbackAllocator::CheckQuality(Controlled& c, TimePoint now) {
     }
   }
 
-  // A thread can only be starved by the CPU if its allocation is the limiting factor:
-  // it was squished below its desire, or its desire is pinned at the ceiling. Without
-  // this gate, routine queue-drain events in healthy pipelines would look like
-  // starvation.
   const bool allocation_limited = c.granted < c.desired - 1e-9 ||
                                   c.desired >= config_.estimator.max_fraction - 1e-9;
   c.quality_window->Push((allocation_limited && saturated != nullptr) ? 1 : 0);
 
-  int evidence = 0;
-  for (size_t i = 0; i < c.quality_window->size(); ++i) {
-    evidence += (*c.quality_window)[i];
-  }
+  // The reference recount scans the whole window, as the monolithic sweep did.
+  const int evidence = c.quality_window->ScanEvidence();
   if (evidence >= config_.quality_patience && saturated != nullptr) {
     c.quality_window->Clear();
     ++quality_exceptions_;
@@ -371,7 +726,7 @@ void FeedbackAllocator::Actuate(Controlled& c, double fraction, TimePoint now) {
   }
 }
 
-void FeedbackAllocator::RunOnce(TimePoint now) {
+void FeedbackAllocator::RunOnceReference(TimePoint now) {
   ++invocations_;
   // If the machine's dispatch clocks are idle-suspended, settle the elided ticks
   // before sampling or actuating: budgets and period phases must read exactly as a
@@ -380,20 +735,17 @@ void FeedbackAllocator::RunOnce(TimePoint now) {
   const double dt = config_.interval.ToSeconds();
 
   // Drop exited threads.
-  controlled_.erase(std::remove_if(controlled_.begin(), controlled_.end(),
-                                   [](const Controlled& c) { return c.thread->HasExited(); }),
-                    controlled_.end());
+  DropExited();
 
   // Phase 1: estimate desired allocations.
   for (Controlled& c : controlled_) {
     SampleAndEstimate(c, dt, now);
   }
 
-  // Phase 2 + 3: overload resolution and actuation, per core. Fixed reservations are
-  // untouchable; the adaptive classes on each core share what remains of that core's
-  // budget. The squish math is the paper's uniprocessor logic applied within one
-  // core's overload threshold; cross-core balancing is the Machine's rebalancer's
-  // job, not the squisher's. One core → identical to the pre-SMP controller.
+  // Phase 2 + 3: overload resolution and actuation, per core. One core → identical
+  // to the pre-SMP controller. The per-core fixed budget is re-derived by a fresh
+  // sweep over the controlled set on every query — the cost profile the pipeline's
+  // BudgetLedger replaces.
   bool any_overload = false;
   std::vector<SquishRequest> requests;
   std::vector<Controlled*> adaptive;
@@ -401,9 +753,7 @@ void FeedbackAllocator::RunOnce(TimePoint now) {
     requests.clear();
     adaptive.clear();
     for (Controlled& c : controlled_) {
-      if ((c.cls == ThreadClass::kRealRate || c.cls == ThreadClass::kMiscellaneous ||
-           c.cls == ThreadClass::kInteractive) &&
-          c.thread->cpu() == core) {
+      if (IsAdaptiveClass(c.cls) && c.thread->cpu() == core) {
         requests.push_back({c.thread->id(), c.desired, c.thread->importance(),
                             config_.estimator.min_fraction});
         adaptive.push_back(&c);
@@ -412,7 +762,8 @@ void FeedbackAllocator::RunOnce(TimePoint now) {
     if (adaptive.empty()) {
       continue;
     }
-    const double available = overload_threshold_ - FixedReservedSumOnCore(core);
+    const double available =
+        overload_threshold_ - static_cast<double>(FixedPptOnCoreScan(core)) / 1000.0;
     double desired_sum = 0.0;
     for (const SquishRequest& r : requests) {
       desired_sum += r.desired;

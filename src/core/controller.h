@@ -4,6 +4,28 @@
 // overload by admission control and (weighted fair-share) squishing, and actuates the
 // reservation scheduler.
 //
+// Control plane (see docs/ARCHITECTURE.md, "The control plane"): RunOnce executes an
+// explicit four-stage pipeline — Sample → Estimate → Resolve → Actuate — backed by
+// incrementally maintained state:
+//   - a per-core BudgetLedger (core/budget_ledger.h) keeps fixed-reservation sums
+//     registered, so admission, squish head-room, and FixedReservedSum* are O(1)
+//     reads instead of per-call sweeps over every controlled thread;
+//   - a dirty-set sampler (core/control_pipeline.h) skips the pressure and
+//     saturation sweeps for real-rate threads whose queue linkages kept their change
+//     epochs since the previous tick;
+//   - quality-exception evidence is a SaturationWindow with an O(1) running count
+//     instead of a 10×patience-entry rescan per thread per tick;
+//   - thread lookup is an id→slot index (O(1) Find/Remove, mirroring
+//     SimThread::sched_slot in the dispatch layer), and actuation batches per-core
+//     through the owning RbsScheduler — one ApplyReservations call per core per
+//     tick (per-update index maintenance unchanged).
+// The original monolithic sweep survives as RunOnceReference();
+// ControllerConfig::use_pipeline = false falls back to it wholesale (the
+// bench_controller_scale comparison baseline), and ControllerConfig::shadow_check
+// makes every pipeline iteration re-derive each incremental quantity the reference
+// way and assert equality — the fuzz harness additionally demands bit-identical
+// whole-run traces between the two modes (harness/differential.cc).
+//
 // Multi-CPU: proportions are allocated per core. Admission control and the
 // squish/overload resolution each operate within the 100% (well, overload_threshold)
 // budget of one core, exactly as the paper's uniprocessor controller does — the
@@ -14,7 +36,8 @@
 //
 // Ownership: borrows the Machine, the core-0 RbsScheduler (its actuation interface —
 // reservation state lives on the threads, so one instance can actuate any thread),
-// and the QueueRegistry; all must outlive it. Owns the per-thread estimator state.
+// and the QueueRegistry; all must outlive it. Owns the per-thread estimator state and
+// the budget ledger, and holds the Machine's migration hook for its own lifetime.
 //
 // Units: proportions are dimensionless fractions of ONE core in [0, 1] (Proportion is
 // parts-per-thousand); periods and the controller interval are virtual-time
@@ -28,8 +51,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
+#include "core/budget_ledger.h"
+#include "core/control_pipeline.h"
+#include "core/overload.h"
 #include "core/period_estimator.h"
 #include "core/proportion_estimator.h"
 #include "core/quality.h"
@@ -77,12 +104,25 @@ struct ControllerConfig {
   // allocation headroom for one measured burst per period.
   Duration interactive_period = Duration::Millis(10);
   double interactive_headroom = 1.5;
+  // --- Control-plane execution strategy ---
+  // If true (default), RunOnce executes the staged pipeline with incrementally
+  // maintained state. If false, RunOnce falls back to RunOnceReference — the
+  // original monolithic sweep (O(cores·n) budget scans, full-window evidence
+  // rescans, per-thread actuation) kept as the comparison baseline and oracle.
+  // Both modes schedule bit-identically.
+  bool use_pipeline = true;
+  // Shadow mode (pipeline only): every iteration re-derives each incrementally
+  // maintained quantity — ledger sums, cached pressures, cached saturation
+  // verdicts, windowed evidence counts — the reference way and asserts equality.
+  // The fuzz harness runs this on every seed.
+  bool shadow_check = false;
 };
 
 class FeedbackAllocator {
  public:
   FeedbackAllocator(Machine& machine, RbsScheduler& rbs, QueueRegistry& queues,
                     const ControllerConfig& config = ControllerConfig{});
+  ~FeedbackAllocator();  // Releases the Machine's migration hook.
 
   // Schedules the periodic controller invocation. Call once.
   void Start();
@@ -109,6 +149,14 @@ class FeedbackAllocator {
   // — a small period for human-perception latency, proportion estimated "by measuring
   // the amount of time they typically run before blocking".
   void AddInteractive(SimThread* thread);
+  // O(1) via the id→slot index (last-slot swap); no-op for unmanaged threads.
+  // The swap reorders the controlled set, and enumeration order is
+  // schedule-visible through the squish arithmetic — so an explicit mid-run
+  // Remove may perturb later grants relative to an order-preserving erase. That
+  // is deliberate (removal is an API event, deterministically replayed, and both
+  // controller modes see the same order); only the implicit exited-thread drop
+  // stays order-preserving, because threads exit without any API call to anchor
+  // the perturbation to.
   void Remove(SimThread* thread);
 
   void SetQualityExceptionFn(QualityExceptionFn fn) { quality_fn_ = std::move(fn); }
@@ -119,9 +167,15 @@ class FeedbackAllocator {
   using PostRunHook = std::function<void(TimePoint)>;
   void SetPostRunHook(PostRunHook hook) { post_run_hook_ = std::move(hook); }
 
-  // One controller iteration. Public so the wall-clock overhead bench can drive it
+  // One controller iteration (dispatches to the pipeline or the reference sweep per
+  // config().use_pipeline). Public so the wall-clock overhead bench can drive it
   // directly; normal use goes through Start().
   void RunOnce(TimePoint now);
+  // The original monolithic sweep, preserved verbatim as the reference
+  // implementation the pipeline is validated against (shadow mode, the fuzz
+  // harness's whole-run trace-equality pass) and the baseline
+  // bench_controller_scale measures. RunOnce routes here when !use_pipeline.
+  void RunOnceReference(TimePoint now);
 
   // --- Introspection (tests, experiment harness) ---
   double DesiredFraction(ThreadId id) const;
@@ -131,13 +185,21 @@ class FeedbackAllocator {
   std::optional<ThreadClass> ClassOf(ThreadId id) const;
   double overload_threshold() const { return overload_threshold_; }
   // Fixed (real-time / aperiodic real-time) reservations: machine-wide sum, and the
-  // sum drawn from one core's budget.
+  // sum drawn from one core's budget. O(1), served from the budget ledger.
   double FixedReservedSum() const;
   double FixedReservedSumOnCore(CpuId core) const;
+  const BudgetLedger& ledger() const { return ledger_; }
   int64_t invocations() const { return invocations_; }
   int64_t quality_exceptions() const { return quality_exceptions_; }
   int64_t squish_events() const { return squish_events_; }
   size_t controlled_count() const { return controlled_.size(); }
+  // Shadow-mode observability: incremental quantities re-derived the reference way
+  // and found equal.
+  int64_t shadow_checks() const { return shadow_checks_; }
+  // Dirty-set sampler observability: real-rate sample/saturation sweeps skipped
+  // (clean) vs executed (dirty).
+  int64_t clean_samples() const { return clean_samples_; }
+  int64_t dirty_samples() const { return dirty_samples_; }
 
   const ControllerConfig& config() const { return config_; }
 
@@ -148,36 +210,85 @@ class FeedbackAllocator {
     std::unique_ptr<ProportionEstimator> estimator;   // Real-rate / miscellaneous only.
     std::unique_ptr<PeriodEstimator> period_estimator;  // Real-rate only.
     Duration period;
-    double fixed_fraction = 0.0;  // Real-time / aperiodic real-time reservations.
+    // Real-time / aperiodic real-time reservation, in exact integer ppt (the
+    // ledger's currency). The fraction view is derived, never stored separately.
+    int32_t fixed_ppt = 0;
+    double FixedFraction() const { return static_cast<double>(fixed_ppt) / 1000.0; }
     double desired = 0.0;
     double granted = 0.0;
     double last_pressure = 0.0;
-    // Sliding window of per-interval saturation evidence.
-    std::unique_ptr<RingBuffer<uint8_t>> quality_window;
+    // Sliding window of per-interval saturation evidence (O(1) running count).
+    std::unique_ptr<SaturationWindow> quality_window;
     // Saturation counters seen at the previous quality check, per linkage.
     std::vector<int64_t> last_full_hits;
     std::vector<int64_t> last_empty_hits;
+    // Dirty-set sampler state: linkage snapshot, cached pressure, cached fill-based
+    // saturation verdict (real-rate only).
+    LinkageCache linkage_cache;
+    // Per-tick scratch: written by the Sample stage, consumed by Estimate/Actuate.
+    double tick_used_fraction = 0.0;
+    bool tick_clean = false;
     // Fill samples for period estimation, sized to cover one period of intervals.
     std::unique_ptr<RingBuffer<double>> fill_window;
     TimePoint last_period_mark;
   };
+
+  static bool IsFixedClass(ThreadClass cls) {
+    return cls == ThreadClass::kRealTime || cls == ThreadClass::kAperiodicRealTime;
+  }
+  static bool IsAdaptiveClass(ThreadClass cls) {
+    return cls == ThreadClass::kRealRate || cls == ThreadClass::kMiscellaneous ||
+           cls == ThreadClass::kInteractive;
+  }
 
   void ScheduleNext();
   // The scheduler owning `thread`'s run queue (by core affinity). Falls back to the
   // primary scheduler when the thread's core was never wired — the single-scheduler
   // rigs some unit tests build.
   RbsScheduler& SchedulerFor(const SimThread* thread);
+  RbsScheduler& SchedulerForCore(CpuId core);
   // The paper's admission test against the thread's core's fixed budget; if that
   // core would reject but the least fixed-loaded core would accept (SMP only), the
   // thread migrates there first.
   bool PlaceAndAdmit(SimThread* thread, double request);
   Controlled* Find(ThreadId id);
   const Controlled* Find(ThreadId id) const;
-  void Admit(Controlled&& c, Proportion proportion);
+  // Registration/removal through the id→slot index and the budget ledger.
+  void RegisterControlled(Controlled&& c);
+  void RemoveSlot(size_t slot);
+  void RebuildSlotIndex();
+  // Drops threads that exited since the last tick (order-preserving, like the
+  // original sweep — removal order is schedule-visible through the squish).
+  void DropExited();
+  void EnsureQualityWindow(Controlled& c);
+
+  // --- The staged pipeline (use_pipeline) ---
+  void RunOncePipeline(TimePoint now);
+  // Sample: drain usage windows and refresh progress pressure, skipping linkage
+  // sweeps for threads whose queues kept their change epochs (the dirty set).
+  void SampleStage();
+  // Estimate: the Figure 3/4 control laws per thread, on the sampled inputs.
+  void EstimateStage(double dt, TimePoint now);
+  // Resolve: bucket adaptive desires per core (one pass), read each core's fixed
+  // budget from the ledger, squish.
+  void ResolveStage();
+  // Actuate: apply each core's resolved grants as one batch through the owning
+  // scheduler, then run the post-grant quality audit and charge overhead.
+  void ActuateStage(TimePoint now);
+  void QualityAudit(Controlled& c, TimePoint now);
+  // Full linkage sweep with saturation-hit deltas (dirty ticks); refreshes the
+  // cached fill-based verdict and returns this tick's saturated queue, if any.
+  BoundedBuffer* GatherSaturation(Controlled& c);
+
+  // --- The reference sweep (RunOnceReference) ---
   void SampleAndEstimate(Controlled& c, double dt, TimePoint now);
   void ApplyPeriodEstimation(Controlled& c, TimePoint now);
   void CheckQuality(Controlled& c, TimePoint now);
+  // Per-thread actuation (the reference path and period-estimation re-actuations).
   void Actuate(Controlled& c, double fraction, TimePoint now);
+  // Reference recomputation of the ledger's per-core fixed sum (shadow oracle).
+  int64_t FixedPptOnCoreScan(CpuId core) const;
+
   void OnDeadlineMiss(SimThread* thread, Cycles shortfall, TimePoint now);
 
   Machine& machine_;
@@ -189,11 +300,23 @@ class FeedbackAllocator {
   ControllerConfig config_;
   double overload_threshold_;
   std::vector<Controlled> controlled_;
+  // id→slot index into controlled_ (the dispatch layer's sched_slot idiom): O(1)
+  // Find, O(1) Remove by last-slot swap.
+  std::unordered_map<ThreadId, size_t> slot_of_;
+  BudgetLedger ledger_;
+  // Per-core scratch reused across ticks by Resolve/Actuate.
+  std::vector<std::vector<SquishRequest>> core_requests_;
+  std::vector<std::vector<size_t>> core_slots_;
+  std::vector<std::vector<double>> core_grants_;
+  std::vector<ReservationUpdate> batch_;
   QualityExceptionFn quality_fn_;
   PostRunHook post_run_hook_;
   int64_t invocations_ = 0;
   int64_t quality_exceptions_ = 0;
   int64_t squish_events_ = 0;
+  int64_t shadow_checks_ = 0;
+  int64_t clean_samples_ = 0;
+  int64_t dirty_samples_ = 0;
   bool started_ = false;
 };
 

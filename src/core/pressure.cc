@@ -11,8 +11,12 @@ double LinkagePressure(const QueueLinkage& linkage) {
 }
 
 double RawPressure(const QueueRegistry& registry, ThreadId thread) {
+  return RawPressure(registry.LinkagesFor(thread));
+}
+
+double RawPressure(const std::vector<QueueLinkage>& linkages) {
   double sum = 0.0;
-  for (const QueueLinkage& l : registry.LinkagesFor(thread)) {
+  for (const QueueLinkage& l : linkages) {
     sum += LinkagePressure(l);
   }
   return sum;

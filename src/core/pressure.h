@@ -14,6 +14,10 @@ namespace realrate {
 // [-n/2, +n/2] for n linkages. Positive = falling behind (needs more CPU).
 double RawPressure(const QueueRegistry& registry, ThreadId thread);
 
+// Same sum over an already-resolved linkage list (the controller's dirty-set
+// sampler holds one; avoids re-resolving the registry's per-thread index).
+double RawPressure(const std::vector<QueueLinkage>& linkages);
+
 // Pressure contributed by a single linkage, in [-1/2, +1/2].
 double LinkagePressure(const QueueLinkage& linkage);
 

@@ -441,6 +441,7 @@ ServerFarmResult RunServerFarmScenario(const ServerFarmParams& params) {
   config.cpu.clock_hz = params.clock_hz;
   config.rbs = params.rbs;
   config.machine.idle_fast_forward = params.idle_fast_forward;
+  config.controller = params.controller;
   System system(config);
   system.sim().trace().SetEnabled(true);
 

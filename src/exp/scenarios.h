@@ -256,6 +256,10 @@ struct ServerFarmParams {
   // workload. Defaults are the production configuration.
   RbsConfig rbs;
   bool idle_fast_forward = true;
+  // Control-plane knobs, exposed so bench_controller_scale (and the golden
+  // mode-equivalence test) can A/B the staged pipeline against the reference sweep
+  // on the same farm. Defaults are the production configuration.
+  ControllerConfig controller;
 };
 
 struct ServerFarmResult {

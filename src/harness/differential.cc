@@ -8,16 +8,25 @@
 
 #include "exp/system.h"
 #include "queue/registry.h"
+#include "queue/tty.h"
 #include "sched/machine.h"
 #include "sim/simulator.h"
 #include "task/registry.h"
 #include "util/assert.h"
 #include "workloads/misc_work.h"
 #include "workloads/producer_consumer.h"
+#include "workloads/server.h"
 
 namespace realrate {
 
 namespace {
+
+// Objects a built workload needs alive for the duration of the run but which no
+// registry owns: the interactive editors' ttys and their typing processes.
+struct WorkloadRuntime {
+  std::vector<std::unique_ptr<TtyPort>> ttys;
+  std::vector<std::unique_ptr<TypingProcess>> typists;
+};
 
 // Instantiates the spec's queues and threads into an already-built machine. When
 // `controller` is non-null (the RBS+feedback rig) every thread is also registered
@@ -25,7 +34,8 @@ namespace {
 // tolerated (the thread then runs unreserved), which can only happen in metamorphic
 // variants that force fewer cores than the spec was generated for.
 void BuildWorkload(const WorkloadSpec& spec, ThreadRegistry& threads, QueueRegistry& queues,
-                   Machine& machine, FeedbackAllocator* controller) {
+                   Machine& machine, FeedbackAllocator* controller,
+                   WorkloadRuntime& runtime) {
   for (size_t i = 0; i < spec.pipelines.size(); ++i) {
     const PipelineSpec& p = spec.pipelines[i];
     const std::string tag = std::to_string(i);
@@ -115,6 +125,37 @@ void BuildWorkload(const WorkloadSpec& spec, ThreadRegistry& threads, QueueRegis
       controller->AddRealTime(rt, r.proportion, r.period);
     }
   }
+
+  for (size_t i = 0; i < spec.aperiodics.size(); ++i) {
+    const AperiodicSpec& a = spec.aperiodics[i];
+    SimThread* art = threads.Create("art" + std::to_string(i), std::make_unique<CpuHogWork>());
+    art->set_priority(a.priority);
+    art->set_tickets(a.tickets);
+    machine.Attach(art);
+    if (controller != nullptr) {
+      controller->AddAperiodicRealTime(art, a.proportion);
+    }
+  }
+
+  for (size_t i = 0; i < spec.interactives.size(); ++i) {
+    const InteractiveSpec& e = spec.interactives[i];
+    runtime.ttys.push_back(std::make_unique<TtyPort>("tty" + std::to_string(i)));
+    TtyPort* tty = runtime.ttys.back().get();
+    machine.Attach(tty);
+    SimThread* editor = threads.Create("editor" + std::to_string(i),
+                                       std::make_unique<InteractiveWork>(tty, e.cycles_per_event));
+    editor->set_priority(e.priority);
+    editor->set_tickets(e.tickets);
+    machine.Attach(editor);
+    if (controller != nullptr) {
+      controller->AddInteractive(editor);
+    }
+    runtime.typists.push_back(std::make_unique<TypingProcess>(
+        machine.sim(), tty,
+        TypingProcess::Config{.mean_think = e.mean_think,
+                              .seed = DeriveSeed(spec.seed, 0x7777 + i)}));
+    runtime.typists.back()->Start();
+  }
 }
 
 void FillOutcome(RunOutcome& outcome, const Simulator& sim, const Machine& machine,
@@ -158,12 +199,15 @@ RunOutcome RunWorkload(const WorkloadSpec& spec, const RunOptions& options) {
     config.cpu.clock_hz = spec.clock_hz * options.clock_multiplier;
     config.rbs.work_conserving = options.rbs_work_conserving;
     config.rbs.shadow_check = options.rbs_shadow_check;
+    config.controller.use_pipeline = options.controller_use_pipeline;
+    config.controller.shadow_check = options.controller_shadow_check;
     config.machine.idle_fast_forward = options.machine_idle_fast_forward;
     System system(config);
     system.sim().trace().SetEnabled(true);
     oracle.Observe(system);
+    WorkloadRuntime runtime;
     BuildWorkload(spec, system.threads(), system.queues(), system.machine(),
-                  &system.controller());
+                  &system.controller(), runtime);
     system.Start();
     system.RunFor(run_for);
     oracle.FinishRun(system.machine(), system.sim().Now());
@@ -172,6 +216,8 @@ RunOutcome RunWorkload(const WorkloadSpec& spec, const RunOptions& options) {
     for (CpuId core = 0; core < system.num_cpus(); ++core) {
       outcome.shadow_checks += system.rbs(core).shadow_checks();
     }
+    outcome.controller_shadow_checks = system.controller().shadow_checks();
+    outcome.controller_clean_samples = system.controller().clean_samples();
     return outcome;
   }
 
@@ -196,7 +242,8 @@ RunOutcome RunWorkload(const WorkloadSpec& spec, const RunOptions& options) {
   Machine machine(sim, std::move(raw), threads, machine_config);
   sim.trace().SetEnabled(true);
   oracle.Observe(machine, &queues);
-  BuildWorkload(spec, threads, queues, machine, /*controller=*/nullptr);
+  WorkloadRuntime runtime;
+  BuildWorkload(spec, threads, queues, machine, /*controller=*/nullptr, runtime);
   machine.Start();
   machine.RunFor(run_for);
   oracle.FinishRun(machine, sim.Now());
@@ -235,15 +282,47 @@ SeedReport CheckSeed(uint64_t seed, const SeedCheckOptions& options) {
   };
 
   // 1. Invariant battery: the spec as generated, under every scheduler. The feedback
-  // run doubles as the shadow-scheduler pass: every dispatch asserts the indexed
-  // pick equals the reference O(n) scan pick (a mismatch aborts, which the CTest
-  // harness reports against this seed).
+  // run doubles as the shadow pass for both hot paths: every dispatch asserts the
+  // indexed pick equals the reference O(n) scan pick, and every controller tick
+  // asserts the pipeline's incremental state (ledger sums, cached pressures,
+  // saturation verdicts, evidence counts) equals a fresh reference derivation (a
+  // mismatch aborts, which the CTest harness reports against this seed).
+  uint64_t feedback_trace_hash = 0;
+  int64_t feedback_progress = 0;
+  int64_t feedback_dispatches = 0;
   for (const SchedulerKind kind : kAllKinds) {
     RunOptions run;
     run.kind = kind;
     run.rbs_shadow_check = kind == SchedulerKind::kFeedbackRbs;
+    run.controller_shadow_check = kind == SchedulerKind::kFeedbackRbs;
     run.collect_trace_dump = options.collect_trace_dump;
-    note_violations(RunWorkload(spec, run), Label("invariants", kind));
+    const RunOutcome outcome = RunWorkload(spec, run);
+    if (kind == SchedulerKind::kFeedbackRbs) {
+      feedback_trace_hash = outcome.trace_hash;
+      feedback_progress = outcome.total_progress;
+      feedback_dispatches = outcome.dispatches;
+    }
+    note_violations(outcome, Label("invariants", kind));
+  }
+
+  // 1b. Controller-mode equivalence: the same spec through the monolithic
+  // RunOnceReference sweep must schedule bit-identically to the staged pipeline —
+  // the whole-run complement of the per-tick shadow asserts above.
+  {
+    RunOptions reference;
+    reference.controller_use_pipeline = false;
+    reference.collect_trace_dump = options.collect_trace_dump;
+    const RunOutcome ref = RunWorkload(spec, reference);
+    note_violations(ref, "invariants [controller reference]");
+    if (ref.trace_hash != feedback_trace_hash || ref.total_progress != feedback_progress ||
+        ref.dispatches != feedback_dispatches) {
+      report.failures.push_back(
+          "controller mode equivalence: pipeline and RunOnceReference runs diverged "
+          "(hash " + std::to_string(feedback_trace_hash) + " vs " +
+          std::to_string(ref.trace_hash) + ", dispatches " +
+          std::to_string(feedback_dispatches) + " vs " + std::to_string(ref.dispatches) +
+          ")");
+    }
   }
 
   if (!options.run_metamorphic) {
@@ -357,7 +436,8 @@ SeedReport CheckSeed(uint64_t seed, const SeedCheckOptions& options) {
   // their own (deterministic all the same) width. The threshold derives from the
   // same controller defaults RunWorkload builds with: the floors must fit in half
   // the admission budget, leaving the other half for fixed reservations and growth.
-  int adaptive_threads = static_cast<int>(spec.hogs.size());
+  int adaptive_threads =
+      static_cast<int>(spec.hogs.size()) + static_cast<int>(spec.interactives.size());
   for (const PipelineSpec& p : spec.pipelines) {
     adaptive_threads += 1 + static_cast<int>(p.stages.size());  // Stages + consumer.
   }

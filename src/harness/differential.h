@@ -44,6 +44,16 @@ struct RunOptions {
   // indexed pick and the reference O(n) scan pick and asserts they agree (see
   // RbsConfig::shadow_check).
   bool rbs_shadow_check = false;
+  // Feedback machine only: run the controller's staged Sample→Estimate→Resolve→
+  // Actuate pipeline (default, the production configuration) or the monolithic
+  // reference sweep (FeedbackAllocator::RunOnceReference). The fuzz battery runs
+  // both and demands bit-identical traces.
+  bool controller_use_pipeline = true;
+  // Feedback machine only: controller shadow mode — every tick re-derives the
+  // pipeline's incrementally maintained state (ledger sums, cached pressures,
+  // saturation verdicts, evidence counts) the reference way and asserts equality
+  // (see ControllerConfig::shadow_check).
+  bool controller_shadow_check = false;
   // Machine idle fast-forward (skip runs of empty dispatch ticks). On by default,
   // like the production configuration; the metamorphic battery re-runs with it off
   // and demands a bit-identical trace.
@@ -65,6 +75,10 @@ struct RunOutcome {
   // asserted equal to the reference scan pick), summed over cores. Zero unless
   // RunOptions::rbs_shadow_check.
   int64_t shadow_checks = 0;
+  // Feedback runs only: controller-shadow equalities asserted (zero unless
+  // RunOptions::controller_shadow_check) and dirty-set sampler activity.
+  int64_t controller_shadow_checks = 0;
+  int64_t controller_clean_samples = 0;
   int64_t violation_count = 0;
   std::vector<std::string> violations;  // Recorded subset (see OracleConfig).
   std::string trace_dump;               // Only when collect_trace_dump and violations.

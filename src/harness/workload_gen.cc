@@ -108,6 +108,62 @@ WorkloadSpec GenerateWorkload(uint64_t seed) {
     return spec;
   }
 
+  // Control-plane bucket (~1 seed in 20): 1000+ controlled threads spanning all five
+  // paper classes — real-time (pipeline producers), real-rate (pipeline consumers),
+  // miscellaneous (hogs), aperiodic real-time, and interactive (tty editors) — so
+  // fuzzing exercises the controller's staged pipeline (BudgetLedger, dirty-set
+  // sampler, batched actuation, and the shadow/trace-equality oracles against
+  // RunOnceReference) at production thread counts. Short horizon keeps the battery
+  // affordable. Feasibility by construction needs both budgets to hold on the
+  // smallest (6-core) machine: fixed reservations ≤ 479 producers × 3 ppt + 96
+  // aperiodics × 3 ppt = 1.73 < 0.45 × 6 cores, and the adaptive allocation floors
+  // (≤ 655 adaptive threads × 5 ppt = 3.28) plus fixed stay within the 6 × 0.95
+  // admission ceiling, so per-core squish never has to overflow a core.
+  if (rng.NextBool(0.05)) {
+    spec.num_cpus = 6 + static_cast<int>(rng.NextBounded(3));  // 6-8 cores.
+    spec.run_for = Duration::Millis(40 + static_cast<int64_t>(rng.NextBounded(40)));
+    const int mega_pipelines = 416 + static_cast<int>(rng.NextBounded(64));
+    for (int i = 0; i < mega_pipelines; ++i) {
+      PipelineSpec p;
+      p.producer_cycles_per_item = 60'000 + static_cast<Cycles>(rng.NextBounded(120'000));
+      p.bytes_per_item = 40.0 + rng.NextDouble() * 60.0;
+      p.consumer_cycles_per_byte = 200 + static_cast<Cycles>(rng.NextBounded(600));
+      p.producer_proportion = Proportion::Ppt(1 + static_cast<int>(rng.NextBounded(3)));
+      p.producer_period = Duration::Millis(5 + i % 28);
+      p.source_queue_bytes = static_cast<int64_t>(2.0 * p.bytes_per_item) * 8;
+      p.priority = 3 + i % 5;
+      p.tickets = 50 + (i % 7) * 37;
+      spec.pipelines.push_back(std::move(p));
+    }
+    const int mega_hogs = 96 + static_cast<int>(rng.NextBounded(32));
+    for (int i = 0; i < mega_hogs; ++i) {
+      HogSpec h;
+      h.cycles_per_key = 500 + static_cast<Cycles>(rng.NextBounded(4'500));
+      h.importance = 1.0 + rng.NextDouble() * 7.0;
+      h.priority = 1 + i % 10;
+      h.tickets = 10 + (i % 13) * 30;
+      spec.hogs.push_back(h);
+    }
+    const int mega_aperiodics = 64 + static_cast<int>(rng.NextBounded(32));
+    for (int i = 0; i < mega_aperiodics; ++i) {
+      AperiodicSpec a;
+      a.proportion = Proportion::Ppt(1 + static_cast<int>(rng.NextBounded(3)));
+      a.priority = 2 + i % 8;
+      a.tickets = 20 + (i % 11) * 25;
+      spec.aperiodics.push_back(a);
+    }
+    const int mega_interactives = 32 + static_cast<int>(rng.NextBounded(16));
+    for (int i = 0; i < mega_interactives; ++i) {
+      InteractiveSpec e;
+      e.cycles_per_event = 100'000 + static_cast<Cycles>(rng.NextBounded(400'000));
+      e.mean_think = Duration::Millis(50 + static_cast<int64_t>(rng.NextBounded(250)));
+      e.priority = 4 + i % 6;
+      e.tickets = 100 + (i % 5) * 60;
+      spec.interactives.push_back(e);
+    }
+    return spec;
+  }
+
   // Fixed-reservation budget: at most 45% of the machine, each reservation at most
   // 45% of one core. The controller's least-fixed-loaded-core admission then always
   // finds a core below 50%, so every generated reservation is admitted (see
@@ -222,6 +278,21 @@ std::string WorkloadSpec::ToString() const {
                   "  reservation[%zu]: %dppt / %lldms prio=%d tickets=%lld\n", i,
                   r.proportion.ppt(), static_cast<long long>(r.period.millis()),
                   r.priority, static_cast<long long>(r.tickets));
+    out += line;
+  }
+  for (size_t i = 0; i < aperiodics.size(); ++i) {
+    const AperiodicSpec& a = aperiodics[i];
+    std::snprintf(line, sizeof(line), "  aperiodic[%zu]: %dppt prio=%d tickets=%lld\n", i,
+                  a.proportion.ppt(), a.priority, static_cast<long long>(a.tickets));
+    out += line;
+  }
+  for (size_t i = 0; i < interactives.size(); ++i) {
+    const InteractiveSpec& e = interactives[i];
+    std::snprintf(line, sizeof(line),
+                  "  interactive[%zu]: %lldcyc/event think=%lldms prio=%d tickets=%lld\n",
+                  i, static_cast<long long>(e.cycles_per_event),
+                  static_cast<long long>(e.mean_think.millis()), e.priority,
+                  static_cast<long long>(e.tickets));
     out += line;
   }
   return out;

@@ -76,6 +76,25 @@ struct ReservationSpec {
   int64_t tickets = 0;
 };
 
+// An aperiodic real-time reservation (paper Figure 2: proportion specified, period
+// assigned by the controller) around a CPU-bound body. Baselines treat it as a
+// prioritized hog.
+struct AperiodicSpec {
+  Proportion proportion = Proportion::Zero();
+  int priority = 0;
+  int64_t tickets = 0;
+};
+
+// An interactive editor (§3.2): InteractiveWork listening on a tty, driven by a
+// seeded TypingProcess with the given think time. Under RBS+feedback it is
+// registered AddInteractive; baselines schedule it like any blocked-mostly thread.
+struct InteractiveSpec {
+  Cycles cycles_per_event = 0;
+  Duration mean_think = Duration::Millis(200);
+  int priority = 0;
+  int64_t tickets = 0;
+};
+
 struct WorkloadSpec {
   uint64_t seed = 0;
   int num_cpus = 1;
@@ -84,6 +103,8 @@ struct WorkloadSpec {
   std::vector<PipelineSpec> pipelines;
   std::vector<HogSpec> hogs;
   std::vector<ReservationSpec> reservations;
+  std::vector<AperiodicSpec> aperiodics;
+  std::vector<InteractiveSpec> interactives;
 
   // Human-readable dump (the repro artifact realrate_check prints for a failing seed).
   std::string ToString() const;

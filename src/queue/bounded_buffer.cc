@@ -16,6 +16,7 @@ bool BoundedBuffer::TryPush(int64_t bytes) {
   // WaitForSpace forever waiting for room that cannot exist (silent livelock). Loud
   // contract violation instead — size items to the queue, not vice versa.
   RR_EXPECTS(bytes <= capacity_);
+  ++change_epoch_;
   if (fill_ + bytes > capacity_) {
     ++full_hits_;
     return false;
@@ -29,6 +30,7 @@ bool BoundedBuffer::TryPush(int64_t bytes) {
 
 int64_t BoundedBuffer::TryPop(int64_t bytes) {
   RR_EXPECTS(bytes > 0);
+  ++change_epoch_;
   const int64_t n = std::min(bytes, fill_);
   if (n == 0) {
     ++empty_hits_;
@@ -46,6 +48,7 @@ bool BoundedBuffer::TryPopExact(int64_t bytes) {
   // Mirror of the TryPush contract: an exact pop larger than the whole queue can
   // never succeed, so a consumer would block on WaitForData forever.
   RR_EXPECTS(bytes <= capacity_);
+  ++change_epoch_;
   if (fill_ < bytes) {
     ++empty_hits_;
     return false;

@@ -69,6 +69,13 @@ class BoundedBuffer {
   int64_t full_hits() const { return full_hits_; }
   int64_t empty_hits() const { return empty_hits_; }
 
+  // Change epoch: bumped by every TryPush/TryPop/TryPopExact (each mutates the fill
+  // level or a saturation counter, so each changes what the controller could observe
+  // here). The controller's dirty-set sampler skips its per-tick pressure and
+  // saturation sweeps for threads whose linked queues all kept their epoch since the
+  // previous tick.
+  uint64_t change_epoch() const { return change_epoch_; }
+
   const std::vector<ThreadId>& waiting_producers() const { return waiting_producers_; }
   const std::vector<ThreadId>& waiting_consumers() const { return waiting_consumers_; }
 
@@ -83,6 +90,7 @@ class BoundedBuffer {
   int64_t total_popped_ = 0;
   int64_t full_hits_ = 0;
   int64_t empty_hits_ = 0;
+  uint64_t change_epoch_ = 0;
   WakeFn wake_fn_;
   std::vector<ThreadId> waiting_producers_;
   std::vector<ThreadId> waiting_consumers_;

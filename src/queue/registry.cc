@@ -17,10 +17,12 @@ void QueueRegistry::Register(BoundedBuffer* queue, ThreadId thread, QueueRole ro
   RR_EXPECTS(queue != nullptr);
   RR_EXPECTS(thread != kInvalidThreadId);
   linkages_by_thread_[thread].push_back({queue, thread, role});
+  ++linkage_epoch_[thread];
 }
 
 void QueueRegistry::Unregister(ThreadId thread) {
   linkages_by_thread_.erase(thread);
+  ++linkage_epoch_[thread];
 }
 
 const std::vector<QueueLinkage>& QueueRegistry::LinkagesFor(ThreadId thread) const {
@@ -32,6 +34,11 @@ const std::vector<QueueLinkage>& QueueRegistry::LinkagesFor(ThreadId thread) con
 bool QueueRegistry::HasMetrics(ThreadId thread) const {
   const auto it = linkages_by_thread_.find(thread);
   return it != linkages_by_thread_.end() && !it->second.empty();
+}
+
+uint64_t QueueRegistry::linkage_epoch(ThreadId thread) const {
+  const auto it = linkage_epoch_.find(thread);
+  return it == linkage_epoch_.end() ? 0 : it->second;
 }
 
 BoundedBuffer* QueueRegistry::Find(QueueId id) {

@@ -42,6 +42,12 @@ class QueueRegistry {
   const std::vector<QueueLinkage>& LinkagesFor(ThreadId thread) const;
   // Whether the thread has any registered progress metric. O(1).
   bool HasMetrics(ThreadId thread) const;
+  // Per-thread registration change epoch: bumped by every Register/Unregister for
+  // `thread`. The controller's dirty-set sampler uses it (together with each queue's
+  // BoundedBuffer::change_epoch) to prove a thread's linkage view unchanged since
+  // the previous controller tick — and to revalidate any cached LinkagesFor
+  // reference before following it. Monotone per thread; 0 = never registered.
+  uint64_t linkage_epoch(ThreadId thread) const;
 
   BoundedBuffer* Find(QueueId id);
   size_t queue_count() const { return queues_.size(); }
@@ -55,6 +61,9 @@ class QueueRegistry {
   // The linkage store, indexed the way every reader reads it: per thread, in
   // registration order within a thread.
   std::unordered_map<ThreadId, std::vector<QueueLinkage>> linkages_by_thread_;
+  // Registration epochs survive Unregister (a removed thread's epoch keeps
+  // advancing) so stale cached references can never revalidate.
+  std::unordered_map<ThreadId, uint64_t> linkage_epoch_;
 };
 
 }  // namespace realrate

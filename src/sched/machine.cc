@@ -108,6 +108,9 @@ void Machine::Migrate(SimThread* thread, CpuId core) {
   thread->set_cpu(core);
   CoreAt(core).scheduler->AddThread(thread);
   ++migrations_;
+  if (migration_hook_) {
+    migration_hook_(thread, from, core);
+  }
   sim_.trace().Record(sim_.Now(), TraceKind::kMigrate, thread->id(), from, core);
 }
 

@@ -46,6 +46,7 @@
 #define REALRATE_SCHED_MACHINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -124,6 +125,15 @@ class Machine {
   // Installs (or clears, with nullptr) the invariant-oracle hook. The checker is
   // borrowed and must outlive the machine or be cleared before destruction.
   void SetChecker(MachineChecker* checker) { checker_ = checker; }
+
+  // Migration observer: invoked synchronously from every Migrate() (controller
+  // steering and the rebalancer alike) after the thread's affinity moved. The
+  // feedback controller installs one to keep its per-core BudgetLedger registered
+  // with where each fixed reservation's proportion is drawn from. One observer at a
+  // time; install nullptr to clear (the controller's destructor does). The hook must
+  // not mutate machine state.
+  using MigrationHook = std::function<void(SimThread*, CpuId from, CpuId to)>;
+  void SetMigrationHook(MigrationHook hook) { migration_hook_ = std::move(hook); }
   const MachineConfig& config() const { return config_; }
   double dispatch_hz() const { return 1.0 / config_.dispatch_interval.ToSeconds(); }
   int num_cpus() const { return static_cast<int>(cores_.size()); }
@@ -279,6 +289,7 @@ class Machine {
   int64_t migrations_ = 0;
   bool started_ = false;
   MachineChecker* checker_ = nullptr;
+  MigrationHook migration_hook_;
 };
 
 }  // namespace realrate

@@ -407,6 +407,13 @@ void RbsScheduler::SetReservation(SimThread* thread, Proportion proportion, Dura
   }
 }
 
+void RbsScheduler::ApplyReservations(const std::vector<ReservationUpdate>& batch,
+                                     TimePoint now) {
+  for (const ReservationUpdate& update : batch) {
+    SetReservation(update.thread, update.proportion, update.period, now);
+  }
+}
+
 Proportion RbsScheduler::TotalReserved() const {
   Proportion total = Proportion::Zero();
   for (const SimThread* t : threads_) {

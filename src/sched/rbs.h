@@ -67,6 +67,14 @@ struct RbsConfig {
   bool shadow_check = false;
 };
 
+// One element of a per-core actuation batch (ApplyReservations): the reservation a
+// controller tick resolved for `thread`.
+struct ReservationUpdate {
+  SimThread* thread = nullptr;
+  Proportion proportion = Proportion::Zero();
+  Duration period = Duration::Zero();
+};
+
 class RbsScheduler : public Scheduler {
  public:
   RbsScheduler(const Cpu& cpu, const RbsConfig& config = RbsConfig{});
@@ -95,6 +103,15 @@ class RbsScheduler : public Scheduler {
   // the thread's period from `now` with a fresh budget. "Very low overhead to change
   // proportion and period" — O(1) (plus O(log n) index maintenance).
   void SetReservation(SimThread* thread, Proportion proportion, Duration period, TimePoint now);
+
+  // Batched actuation surface for the controller's Actuate stage: applies each
+  // update exactly as SetReservation would, in order — one scheduler call per core
+  // per controller tick instead of one per changed thread. Per-update index
+  // maintenance inside SetReservation is unchanged (O(log n) each); the batch is
+  // the call-granularity surface future deferred maintenance would hang off.
+  // Every thread in the batch must be actuatable by this instance (enqueued here,
+  // or enqueued nowhere — the SetReservation contract).
+  void ApplyReservations(const std::vector<ReservationUpdate>& batch, TimePoint now);
 
   // The goodness function, exposed for tests. Higher runs first. Zero means "do not
   // run now".

@@ -1,0 +1,180 @@
+// Unit coverage for the control plane's staged-pipeline building blocks: the
+// BudgetLedger's incrementally maintained per-core sums, the SaturationWindow's O(1)
+// evidence count, and the dirty-set sampler's LinkageCache epoch logic. The
+// integration-level guarantees (pipeline ≡ reference sweep on live machines) live in
+// core_controller_test.cc, golden_trace_test.cc, and the fuzz battery.
+#include <gtest/gtest.h>
+
+#include "core/budget_ledger.h"
+#include "core/control_pipeline.h"
+#include "core/pressure.h"
+#include "queue/registry.h"
+
+namespace realrate {
+namespace {
+
+TEST(BudgetLedgerTest, TracksFixedSumsPerCoreAndMachineWide) {
+  BudgetLedger ledger(4);
+  EXPECT_EQ(ledger.num_cores(), 4);
+  ledger.AddFixed(0, 300);
+  ledger.AddFixed(0, 150);
+  ledger.AddFixed(2, 450);
+  EXPECT_EQ(ledger.fixed_ppt_on(0), 450);
+  EXPECT_EQ(ledger.fixed_ppt_on(1), 0);
+  EXPECT_EQ(ledger.fixed_ppt_on(2), 450);
+  EXPECT_EQ(ledger.fixed_ppt_total(), 900);
+  EXPECT_DOUBLE_EQ(ledger.FixedFractionOn(0), 0.45);
+  EXPECT_DOUBLE_EQ(ledger.FixedFractionTotal(), 0.9);
+
+  ledger.RemoveFixed(0, 150);
+  EXPECT_EQ(ledger.fixed_ppt_on(0), 300);
+  EXPECT_EQ(ledger.fixed_ppt_total(), 750);
+}
+
+TEST(BudgetLedgerTest, MoveReHomesOneReservation) {
+  BudgetLedger ledger(2);
+  ledger.AddFixed(0, 200);
+  ledger.MoveFixed(0, 1, 200);
+  EXPECT_EQ(ledger.fixed_ppt_on(0), 0);
+  EXPECT_EQ(ledger.fixed_ppt_on(1), 200);
+  EXPECT_EQ(ledger.fixed_ppt_total(), 200);
+  // Same-core moves are no-ops.
+  ledger.MoveFixed(1, 1, 200);
+  EXPECT_EQ(ledger.fixed_ppt_on(1), 200);
+}
+
+TEST(BudgetLedgerTest, GrantedAndSpareSumsPerTick) {
+  BudgetLedger ledger(2);
+  ledger.AddFixed(0, 400);
+  ledger.SetGranted(0, 0.3);
+  EXPECT_DOUBLE_EQ(ledger.GrantedFractionOn(0), 0.3);
+  EXPECT_NEAR(ledger.SpareFractionOn(0, 0.95), 0.95 - 0.4 - 0.3, 1e-12);
+  ledger.SetGranted(0, 0.1);
+  EXPECT_NEAR(ledger.SpareFractionOn(0, 0.95), 0.45, 1e-12);
+}
+
+TEST(SaturationWindowTest, IncrementalEvidenceMatchesScanThroughEviction) {
+  SaturationWindow window(4);
+  EXPECT_EQ(window.evidence(), 0);
+  // Fill: 1, 0, 1, 1 -> 3.
+  window.Push(1);
+  window.Push(0);
+  window.Push(1);
+  window.Push(1);
+  EXPECT_EQ(window.evidence(), 3);
+  EXPECT_EQ(window.evidence(), window.ScanEvidence());
+  // Evictions: the oldest (1) falls out, a 0 comes in -> 2; then 1 -> stays window
+  // of the last four.
+  window.Push(0);
+  EXPECT_EQ(window.evidence(), 2);
+  EXPECT_EQ(window.evidence(), window.ScanEvidence());
+  window.Push(1);
+  EXPECT_EQ(window.evidence(), 3);
+  EXPECT_EQ(window.evidence(), window.ScanEvidence());
+}
+
+TEST(SaturationWindowTest, ClearResetsTheRunningCount) {
+  SaturationWindow window(8);
+  for (int i = 0; i < 20; ++i) {
+    window.Push(1);
+  }
+  EXPECT_EQ(window.evidence(), 8);
+  window.Clear();
+  EXPECT_EQ(window.evidence(), 0);
+  EXPECT_EQ(window.ScanEvidence(), 0);
+  window.Push(1);
+  EXPECT_EQ(window.evidence(), 1);
+}
+
+TEST(SaturationWindowTest, LongRandomishSequenceStaysEqualToScan) {
+  SaturationWindow window(250);  // The default 10 * quality_patience size.
+  for (int i = 0; i < 2'000; ++i) {
+    window.Push(static_cast<uint8_t>((i * 7 + i / 3) % 5 == 0 ? 1 : 0));
+    ASSERT_EQ(window.evidence(), window.ScanEvidence()) << "at push " << i;
+  }
+}
+
+TEST(FillStarvedTest, ConsumerAndProducerCriteria) {
+  QueueRegistry registry;
+  BoundedBuffer* q = registry.CreateQueue("q", 100);
+  QueueLinkage consumer{q, 1, QueueRole::kConsumer};
+  QueueLinkage producer{q, 2, QueueRole::kProducer};
+  // Empty queue: the producer's output is pinned empty; the consumer is fine.
+  EXPECT_FALSE(FillStarved(consumer, 0.95));
+  EXPECT_TRUE(FillStarved(producer, 0.95));
+  // Full queue: the consumer's input is pinned full; the producer is fine.
+  ASSERT_TRUE(q->TryPush(100));
+  EXPECT_TRUE(FillStarved(consumer, 0.95));
+  EXPECT_FALSE(FillStarved(producer, 0.95));
+  // Half full: neither.
+  ASSERT_EQ(q->TryPop(50), 50);
+  EXPECT_FALSE(FillStarved(consumer, 0.95));
+  EXPECT_FALSE(FillStarved(producer, 0.95));
+}
+
+TEST(StaticSaturatedQueueTest, ReturnsFirstStarvedLinkageInRegistrationOrder) {
+  QueueRegistry registry;
+  BoundedBuffer* healthy = registry.CreateQueue("healthy", 100);
+  BoundedBuffer* pinned = registry.CreateQueue("pinned", 100);
+  ASSERT_TRUE(healthy->TryPush(50));
+  ASSERT_TRUE(pinned->TryPush(100));
+  registry.Register(healthy, 7, QueueRole::kConsumer);
+  registry.Register(pinned, 7, QueueRole::kConsumer);
+  EXPECT_EQ(StaticSaturatedQueue(registry.LinkagesFor(7), 0.95), pinned);
+  // Drain the pinned queue: nothing is starved.
+  ASSERT_EQ(pinned->TryPop(60), 60);
+  EXPECT_EQ(StaticSaturatedQueue(registry.LinkagesFor(7), 0.95), nullptr);
+}
+
+TEST(LinkageCacheTest, CleanUntilAQueueOrTheRegistrationChanges) {
+  QueueRegistry registry;
+  BoundedBuffer* a = registry.CreateQueue("a", 100);
+  BoundedBuffer* b = registry.CreateQueue("b", 100);
+  const ThreadId thread = 42;
+  registry.Register(a, thread, QueueRole::kConsumer);
+  registry.Register(b, thread, QueueRole::kProducer);
+
+  LinkageCache cache;
+  EXPECT_FALSE(cache.IsClean(registry, thread));  // Never primed.
+  const auto& linkages = cache.Refresh(registry, thread);
+  ASSERT_EQ(linkages.size(), 2u);
+  cache.pressure = RawPressure(linkages);
+  EXPECT_TRUE(cache.IsClean(registry, thread));
+
+  // Any queue mutation (even a failed pop: it bumps a saturation counter the quality
+  // detector reads) dirties the thread.
+  ASSERT_TRUE(a->TryPush(10));
+  EXPECT_FALSE(cache.IsClean(registry, thread));
+  cache.Refresh(registry, thread);
+  EXPECT_TRUE(cache.IsClean(registry, thread));
+  EXPECT_EQ(b->TryPop(10), 0);  // Fails: empty — still a change epoch bump.
+  EXPECT_FALSE(cache.IsClean(registry, thread));
+  cache.Refresh(registry, thread);
+
+  // A registration change dirties the thread even with quiet queues — and the stale
+  // linkage reference is never followed (the epoch check short-circuits first).
+  registry.Register(a, thread, QueueRole::kProducer);
+  EXPECT_FALSE(cache.IsClean(registry, thread));
+  EXPECT_EQ(cache.Refresh(registry, thread).size(), 3u);
+  EXPECT_TRUE(cache.IsClean(registry, thread));
+  registry.Unregister(thread);
+  EXPECT_FALSE(cache.IsClean(registry, thread));
+  EXPECT_EQ(cache.Refresh(registry, thread).size(), 0u);
+}
+
+TEST(LinkageCacheTest, UnrelatedThreadsActivityDoesNotDirty) {
+  QueueRegistry registry;
+  BoundedBuffer* mine = registry.CreateQueue("mine", 100);
+  BoundedBuffer* other = registry.CreateQueue("other", 100);
+  registry.Register(mine, 1, QueueRole::kConsumer);
+  registry.Register(other, 2, QueueRole::kConsumer);
+
+  LinkageCache cache;
+  cache.Refresh(registry, 1);
+  ASSERT_TRUE(other->TryPush(10));
+  registry.Register(other, 2, QueueRole::kProducer);
+  EXPECT_TRUE(cache.IsClean(registry, 1));
+}
+
+}  // namespace
+}  // namespace realrate

@@ -93,6 +93,26 @@ TEST(GoldenTraceTest, ServerFarmHotPathModesAreTraceEquivalent) {
   EXPECT_EQ(eager.idle_suspensions, 0);  // The knob actually disables the machinery.
 }
 
+TEST(GoldenTraceTest, ServerFarmControllerModesAreTraceEquivalent) {
+  // The control-plane tentpole guarantee, pinned at scenario level: the staged
+  // Sample→Estimate→Resolve→Actuate pipeline (with shadow asserts live) and the
+  // monolithic RunOnceReference sweep schedule the farm bit-identically.
+  ServerFarmParams params = FarmPinParams(4);
+  params.run_for = Duration::Millis(120);
+  params.controller.shadow_check = true;
+  const ServerFarmResult pipeline = RunServerFarmScenario(params);
+
+  ServerFarmParams reference = params;
+  reference.controller.shadow_check = false;
+  reference.controller.use_pipeline = false;
+  const ServerFarmResult ref = RunServerFarmScenario(reference);
+  EXPECT_EQ(pipeline.trace_hash, ref.trace_hash);
+  EXPECT_EQ(pipeline.total_dispatches, ref.total_dispatches);
+  EXPECT_EQ(pipeline.total_consumed_bytes, ref.total_consumed_bytes);
+  EXPECT_EQ(pipeline.squish_events, ref.squish_events);
+  EXPECT_EQ(pipeline.quality_exceptions, ref.quality_exceptions);
+}
+
 TEST(GoldenTraceTest, FigureScenariosAreRunToRunDeterministic) {
   // The pins above assert cross-commit stability; this asserts within-process
   // determinism, so a flaky divergence points at hidden state rather than a refactor.

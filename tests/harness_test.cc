@@ -240,6 +240,55 @@ TEST(WorkloadGeneratorTest, GeneratedSpecsAreFeasibleByConstruction) {
   }
 }
 
+TEST(WorkloadGeneratorTest, ControlPlaneBucketCoversAllFiveClassesAtScale) {
+  // The ~1-in-20 control-plane bucket must produce 1000+ controlled threads spanning
+  // every paper class (real-time producers, real-rate consumers, miscellaneous hogs,
+  // aperiodic real-time, interactive editors).
+  int found = 0;
+  for (uint64_t seed = 1; seed <= 200 && found < 3; ++seed) {
+    const WorkloadSpec spec = GenerateWorkload(seed);
+    if (spec.interactives.empty()) {
+      continue;
+    }
+    ++found;
+    EXPECT_FALSE(spec.pipelines.empty()) << seed;
+    EXPECT_FALSE(spec.hogs.empty()) << seed;
+    EXPECT_FALSE(spec.aperiodics.empty()) << seed;
+    const size_t controlled = 2 * spec.pipelines.size() + spec.hogs.size() +
+                              spec.aperiodics.size() + spec.interactives.size();
+    EXPECT_GE(controlled, 1000u) << seed;
+    EXPECT_GE(spec.num_cpus, 6) << seed;  // Feasibility floor for the class mix.
+    for (const AperiodicSpec& a : spec.aperiodics) {
+      EXPECT_GT(a.proportion.ppt(), 0) << seed;
+    }
+    for (const InteractiveSpec& e : spec.interactives) {
+      EXPECT_GT(e.cycles_per_event, 0) << seed;
+      EXPECT_TRUE(e.mean_think.IsPositive()) << seed;
+    }
+  }
+  EXPECT_GE(found, 1) << "no control-plane bucket seed in 1..200";
+}
+
+TEST(DifferentialRunnerTest, ControllerShadowEngagesOnAControlPlaneBucketSeed) {
+  // On a 1000+-thread all-classes spec, the feedback run with controller shadow mode
+  // must execute shadow equalities every tick, exercise the dirty-set sampler in
+  // both directions, and stay violation-free.
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const WorkloadSpec spec = GenerateWorkload(seed);
+    if (spec.interactives.empty()) {
+      continue;
+    }
+    RunOptions options;
+    options.controller_shadow_check = true;
+    const RunOutcome outcome = RunWorkload(spec, options);
+    EXPECT_EQ(outcome.violation_count, 0) << "seed " << seed;
+    EXPECT_GT(outcome.controller_shadow_checks, 0) << "seed " << seed;
+    EXPECT_GT(outcome.controller_clean_samples, 0) << "seed " << seed;
+    return;
+  }
+  FAIL() << "no control-plane bucket seed in 1..200";
+}
+
 TEST(WorkloadGeneratorTest, DeriveSeedSeparatesComponents) {
   EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(1, 1));
   EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
