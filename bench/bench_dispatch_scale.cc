@@ -1,9 +1,11 @@
-// Dispatch hot-path scaling: the indexed run queues (sched/rbs.h) against the
-// reference build (O(n) goodness scan + O(n) per-tick replenish sweep, no index
-// maintenance). Not a paper figure — the paper's machine runs tens of threads — but
-// the ROADMAP's production-scale demand: thousands of pipeline threads dispatched as
-// fast as the host allows. Both builds simulate the *identical* schedule (the farm
-// trace pins and the shadow-scheduler fuzz mode hold them bit-equal), so every ratio
+// Dispatch hot-path scaling: the production build — indexed run queues (sched/rbs.h)
+// plus the registry's hot-field slab columns (task/thread_slabs.h) — against the
+// reference build (O(n) goodness scan over SimThread pointers, O(n) per-tick
+// replenish sweep, no index maintenance, no slabs). Not a paper figure — the paper's
+// machine runs tens of threads — but the ROADMAP's production-scale demand:
+// thousands of pipeline threads dispatched as fast as the host allows. Both builds
+// simulate the *identical* schedule (the farm trace pins and the fuzz battery's
+// shadow + slab/pick-mode equivalence runs hold them bit-equal), so every ratio
 // below is pure hot-path cost, not behavior drift.
 //
 // Two measurements:
@@ -12,17 +14,23 @@
 //      reference scan touches every thread per pick; the indexed pick reads the head
 //      of the ordered index. This is the >= 5x headline number, and the regression
 //      gate CI checks against BENCH_dispatch_baseline.json.
-//   2. End-to-end: wall-clock dispatch throughput of RunServerFarmScenario, where
-//      pick cost is diluted by real work (grants, queues, controller) across
-//      per-core run queues — the honest system-level win.
+//   2. End-to-end: wall-clock dispatch throughput of RunServerFarmScenario with the
+//      production defaults (pick_mode = kAuto, slabs on) vs the reference build,
+//      where pick cost is diluted by real work (grants, queues, controller) across
+//      per-core run queues — the honest system-level win. Because the production
+//      side runs kAuto, this table is also the tuning surface for
+//      RbsConfig::auto_index_threshold: the low-density rows sit below the
+//      threshold (slab win only), the high-density rows above it (slabs + index).
 //
 // The `DISPATCH_SCALE ...` line is machine-readable: scripts/check_dispatch_scale.py
 // compares it against the committed BENCH_dispatch_baseline.json in CI and fails on
 // a > 2x throughput regression at 1024 threads.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -37,6 +45,18 @@
 namespace realrate {
 namespace {
 
+// The primitive A/B's two sides: production pins the indexed pick (no kAuto ramp in
+// a microbench) on a slab-backed registry; reference is the pre-slab pointer-chase
+// scan.
+RbsConfig PickConfig(bool production) {
+  RbsConfig config;
+  config.use_indexed_pick = production;
+  if (production) {
+    config.pick_mode = PickMode::kIndexed;
+  }
+  return config;
+}
+
 // One run queue with `total` reserved threads, `runnable` of them dispatchable (the
 // rest blocked), periods cycled so the rate-monotonic index carries many ranks.
 struct PickRig {
@@ -44,8 +64,8 @@ struct PickRig {
   ThreadRegistry threads;
   RbsScheduler rbs;
 
-  PickRig(bool indexed, int total, int runnable)
-      : rbs(sim.cpu(), RbsConfig{.use_indexed_pick = indexed}) {
+  PickRig(bool production, int total, int runnable)
+      : threads(/*use_slabs=*/production), rbs(sim.cpu(), PickConfig(production)) {
     for (int i = 0; i < total; ++i) {
       SimThread* t = threads.Create("t" + std::to_string(i), std::make_unique<CpuHogWork>());
       rbs.AddThread(t);
@@ -59,8 +79,8 @@ struct PickRig {
 };
 
 // PickNext calls per wall-second at `total` threads.
-double MeasurePickThroughput(bool indexed, int total, int64_t iterations) {
-  PickRig rig(indexed, total, /*runnable=*/32);
+double MeasurePickThroughput(bool production, int total, int64_t iterations) {
+  PickRig rig(production, total, /*runnable=*/32);
   const TimePoint now = rig.sim.Now();
   SimThread* witness = rig.rbs.PickNext(now);
   RR_CHECK(witness != nullptr);
@@ -75,13 +95,26 @@ double MeasurePickThroughput(bool indexed, int total, int64_t iterations) {
 
 // threads = 2 * pipelines + hogs; hogs keep every core busy so dispatch picks, not
 // idle fast-forward, dominate the end-to-end measurement.
-ServerFarmParams ParamsForThreads(int threads, int cpus, bool indexed) {
+ServerFarmParams ParamsForThreads(int threads, int cpus, bool production) {
   ServerFarmParams params;
   params.num_cpus = cpus;
   params.num_hogs = cpus;
   params.num_pipelines = (threads - params.num_hogs) / 2;
-  params.run_for = Duration::Millis(400);
-  params.rbs.use_indexed_pick = indexed;
+  // Long enough that farm construction/teardown (equal on both sides, but counted
+  // in wall time) stops diluting the measured ratio.
+  params.run_for = Duration::Millis(1000);
+  // Production = the defaults (pick_mode kAuto, slabs on); reference = the pre-slab
+  // pointer-chase build with the O(n) scan.
+  params.rbs.use_indexed_pick = production;
+  params.thread_slabs = production;
+  // High per-core densities need smaller reservations or admission control rejects
+  // the farm (the cores' fixed budgets are finite).
+  const int density = threads / cpus;
+  if (density >= 1024) {
+    params.producer_proportion = Proportion::Ppt(1);
+  } else if (density >= 512) {
+    params.producer_proportion = Proportion::Ppt(2);
+  }
   return params;
 }
 
@@ -104,7 +137,7 @@ Measured Measure(const ServerFarmParams& params) {
 void PrintDispatchScale() {
   bench::PrintHeader(
       "Dispatch primitive: PickNext throughput on one run queue (32 runnable)\n"
-      "indexed ordered-index head vs reference O(n) goodness scan");
+      "production (indexed pick, slab registry) vs reference O(n) pointer-chase scan");
   std::printf("  %8s %18s %18s %9s\n", "threads", "indexed pick/ws", "reference pick/ws",
               "speedup");
   double pick_speedup_1024 = 0.0;
@@ -123,31 +156,36 @@ void PrintDispatchScale() {
   }
 
   bench::PrintHeader(
-      "End-to-end: server farm, 8 cores, 400 ms virtual time\n"
-      "throughput = dispatches / wall-second (pick cost diluted by real work)");
+      "End-to-end: server farm, 1 s virtual time, best of 3 interleaved trials\n"
+      "production defaults (kAuto pick, slabs) vs reference (O(n) scan, no slabs)");
   std::printf("  %8s %18s %18s %9s %14s\n", "thrxcpu", "indexed disp/ws",
               "reference disp/ws", "speedup", "trace equal");
   double farm_speedup_1024 = 0.0;
   double farm_indexed_1024 = 0.0;
-  for (const auto& [threads, cpus] : {std::pair{128, 8}, {512, 8}, {1024, 8}, {1024, 2}}) {
-    ServerFarmParams indexed_params = ParamsForThreads(threads, cpus, /*indexed=*/true);
-    ServerFarmParams reference_params = ParamsForThreads(threads, cpus, /*indexed=*/false);
-    if (cpus == 2) {
-      // High per-core density (512 threads per run queue): smaller reservations so
-      // the farm still fits two cores' fixed budgets.
-      indexed_params.producer_proportion = Proportion::Ppt(2);
-      reference_params.producer_proportion = Proportion::Ppt(2);
+  for (const auto& [threads, cpus] :
+       {std::pair{128, 8}, {512, 8}, {1024, 8}, {1024, 2}, {2048, 2}}) {
+    ServerFarmParams indexed_params = ParamsForThreads(threads, cpus, /*production=*/true);
+    ServerFarmParams reference_params = ParamsForThreads(threads, cpus, /*production=*/false);
+    // Interleaved trials, per-side best: host interference (VM steal, other tenants)
+    // only ever subtracts throughput, so each side's maximum over the trials is its
+    // least-contaminated estimate, and their ratio is far more stable run to run
+    // than any single paired trial.
+    bool equal = true;
+    double best_indexed = 0.0;
+    double best_reference = 0.0;
+    for (int trial = 0; trial < 3; ++trial) {
+      const Measured reference = Measure(reference_params);
+      const Measured indexed = Measure(indexed_params);
+      equal = equal && indexed.result.trace_hash == reference.result.trace_hash;
+      best_indexed = std::max(best_indexed, indexed.dispatch_per_wsec());
+      best_reference = std::max(best_reference, reference.dispatch_per_wsec());
     }
-    const Measured indexed = Measure(indexed_params);
-    const Measured reference = Measure(reference_params);
-    const double ratio = indexed.dispatch_per_wsec() / reference.dispatch_per_wsec();
-    const bool equal = indexed.result.trace_hash == reference.result.trace_hash;
-    std::printf("  %5dx%d %18.0f %18.0f %8.2fx %14s\n", threads, cpus,
-                indexed.dispatch_per_wsec(), reference.dispatch_per_wsec(), ratio,
-                equal ? "yes" : "NO!");
+    const double ratio = best_indexed / best_reference;
+    std::printf("  %5dx%d %18.0f %18.0f %8.2fx %14s\n", threads, cpus, best_indexed,
+                best_reference, ratio, equal ? "yes" : "NO!");
     if (threads == 1024 && cpus == 8) {
       farm_speedup_1024 = ratio;
-      farm_indexed_1024 = indexed.dispatch_per_wsec();
+      farm_indexed_1024 = best_indexed;
     }
   }
 

@@ -30,6 +30,7 @@ BENCHES=(
   bench_fig7_load
   bench_fig8_dispatch_overhead
   bench_smp_scale
+  bench_thread_slabs
 )
 
 if [[ ! -x "${BUILD_DIR}/tools/bench_aggregate" ]]; then

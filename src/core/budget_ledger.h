@@ -15,6 +15,11 @@
 // ppt / 1000.0. Granted sums (the adaptive classes' post-squish grants) are per-tick
 // aggregates refreshed by the Resolve stage, kept as doubles for introspection only.
 //
+// The ledger's reference oracle (FixedPptOnCoreScan) reads each thread's core through
+// the registry's hot-field slab columns (task/thread_slabs.h) when present — the
+// same write-through mirror the dispatch layer scans, so ledger and slabs can never
+// silently disagree about which core a fixed reservation is drawn from.
+//
 // Thread-safety: none — lives inside the single-threaded simulator like its owner.
 #ifndef REALRATE_CORE_BUDGET_LEDGER_H_
 #define REALRATE_CORE_BUDGET_LEDGER_H_

@@ -22,6 +22,7 @@ FeedbackAllocator::FeedbackAllocator(Machine& machine, RbsScheduler& rbs, QueueR
       core_grants_(static_cast<size_t>(machine.num_cpus())) {
   RR_EXPECTS(config.interval.IsPositive());
   RR_EXPECTS(config.overload_threshold > 0 && config.overload_threshold <= 1.0);
+  slabs_ = machine_.registry().slabs();
   WireScheduler(rbs_);
   // Keep the ledger registered with where each fixed reservation's proportion is
   // drawn from: the rebalancer (and PlaceAndAdmit's steering) migrate threads
@@ -78,6 +79,11 @@ const FeedbackAllocator::Controlled* FeedbackAllocator::Find(ThreadId id) const 
 }
 
 void FeedbackAllocator::RegisterControlled(Controlled&& c) {
+  // Cache the thread's slab slot (stable for its lifetime) so the per-tick sweeps
+  // read columns without re-resolving; stays kNoSlot for slab-less registries.
+  c.slab_slot = (slabs_ != nullptr && c.thread->bound_slabs() == slabs_)
+                    ? c.thread->slab_slot()
+                    : ThreadSlabs::kNoSlot;
   if (IsFixedClass(c.cls)) {
     ledger_.AddFixed(c.thread->cpu(), c.fixed_ppt);
   }
@@ -107,12 +113,35 @@ void FeedbackAllocator::RebuildSlotIndex() {
   }
 }
 
+bool FeedbackAllocator::ExitedOf(const Controlled& c) const {
+  // state(kExited) ⇔ SimThread::HasExited(): the state column is a write-through
+  // mirror of the object's run state.
+  return c.slab_slot != ThreadSlabs::kNoSlot
+             ? slabs_->state(c.slab_slot) == ThreadState::kExited
+             : c.thread->HasExited();
+}
+
+CpuId FeedbackAllocator::CpuOf(const Controlled& c) const {
+  return c.slab_slot != ThreadSlabs::kNoSlot ? slabs_->cpu(c.slab_slot) : c.thread->cpu();
+}
+
+double FeedbackAllocator::ImportanceOf(const Controlled& c) const {
+  return c.slab_slot != ThreadSlabs::kNoSlot ? slabs_->importance(c.slab_slot)
+                                             : c.thread->importance();
+}
+
+void FeedbackAllocator::MirrorPressure(const Controlled& c) {
+  if (c.slab_slot != ThreadSlabs::kNoSlot) {
+    slabs_->set_pressure(c.slab_slot, c.last_pressure);
+  }
+}
+
 // Order-preserving, unlike Remove's last-slot swap: within one run the surviving
 // threads keep their squish enumeration order, exactly as the original erase did.
 void FeedbackAllocator::DropExited() {
   bool any = false;
   for (const Controlled& c : controlled_) {
-    if (c.thread->HasExited()) {
+    if (ExitedOf(c)) {
       any = true;
       break;
     }
@@ -121,12 +150,12 @@ void FeedbackAllocator::DropExited() {
     return;
   }
   for (const Controlled& c : controlled_) {
-    if (c.thread->HasExited() && IsFixedClass(c.cls)) {
-      ledger_.RemoveFixed(c.thread->cpu(), c.fixed_ppt);
+    if (ExitedOf(c) && IsFixedClass(c.cls)) {
+      ledger_.RemoveFixed(CpuOf(c), c.fixed_ppt);
     }
   }
   controlled_.erase(std::remove_if(controlled_.begin(), controlled_.end(),
-                                   [](const Controlled& c) { return c.thread->HasExited(); }),
+                                   [this](const Controlled& c) { return ExitedOf(c); }),
                     controlled_.end());
   RebuildSlotIndex();
 }
@@ -140,7 +169,7 @@ double FeedbackAllocator::FixedReservedSumOnCore(CpuId core) const {
 int64_t FeedbackAllocator::FixedPptOnCoreScan(CpuId core) const {
   int64_t sum = 0;
   for (const Controlled& c : controlled_) {
-    if (IsFixedClass(c.cls) && c.thread->cpu() == core) {
+    if (IsFixedClass(c.cls) && CpuOf(c) == core) {
       sum += c.fixed_ppt;
     }
   }
@@ -315,6 +344,20 @@ void FeedbackAllocator::RunOncePipeline(TimePoint now) {
   ResolveStage();
   ActuateStage(now);
 
+  // Slab shadow: after actuation every hot-field column must agree with the
+  // object state of every controlled thread, and the pressure column must hold
+  // exactly the pressure this tick estimated from.
+  if (config_.shadow_check && slabs_ != nullptr) {
+    for (const Controlled& c : controlled_) {
+      if (c.slab_slot == ThreadSlabs::kNoSlot) {
+        continue;
+      }
+      RR_CHECK(slabs_->MatchesObject(*c.thread));
+      RR_CHECK(slabs_->pressure(c.slab_slot) == c.last_pressure);
+      ++shadow_checks_;
+    }
+  }
+
   // The controller's own cost (Fig. 5): fixed + per-controlled-thread.
   if (config_.charge_overhead) {
     machine_.StealCycles(CpuUse::kController,
@@ -365,6 +408,7 @@ void FeedbackAllocator::EstimateStage(double dt, TimePoint now) {
         // and period to the specified amount and does not modify them in practice."
         c.desired = c.FixedFraction();
         c.last_pressure = 0.0;
+        MirrorPressure(c);
         continue;
       case ThreadClass::kRealRate:
         break;  // Pressure sampled by SampleStage.
@@ -393,10 +437,12 @@ void FeedbackAllocator::EstimateStage(double dt, TimePoint now) {
         c.desired = std::clamp(need, config_.estimator.min_fraction,
                                config_.estimator.max_fraction);
         c.last_pressure = 0.0;
+        MirrorPressure(c);
         continue;
       }
     }
     c.desired = c.estimator->Step(c.last_pressure, c.tick_used_fraction, c.granted, dt);
+    MirrorPressure(c);
 
     if (c.cls == ThreadClass::kRealRate && config_.enable_period_estimation) {
       // SampleStage validated (or refreshed) the cache this tick; no need to
@@ -429,9 +475,11 @@ void FeedbackAllocator::ResolveStage() {
     if (!IsAdaptiveClass(c.cls)) {
       continue;
     }
-    const auto core = static_cast<size_t>(c.thread->cpu());
-    core_requests_[core].push_back({c.thread->id(), c.desired, c.thread->importance(),
-                                    config_.estimator.min_fraction});
+    // Column reads: cpu and importance stream from the slabs across the whole
+    // controlled set instead of touching each SimThread.
+    const auto core = static_cast<size_t>(CpuOf(c));
+    core_requests_[core].push_back(
+        {c.thread->id(), c.desired, ImportanceOf(c), config_.estimator.min_fraction});
     core_slots_[core].push_back(slot);
   }
 

@@ -18,7 +18,12 @@
 //   - thread lookup is an id→slot index (O(1) Find/Remove, mirroring
 //     SimThread::sched_slot in the dispatch layer), and actuation batches per-core
 //     through the owning RbsScheduler — one ApplyReservations call per core per
-//     tick (per-update index maintenance unchanged).
+//     tick (per-update index maintenance unchanged);
+//   - per-thread hot fields (exit state, cpu, importance) are read from the
+//     registry's SoA slab columns (task/thread_slabs.h) instead of chasing each
+//     SimThread pointer, and each tick's progress pressure is published back into
+//     the slab's pressure column (this controller is that column's sole writer;
+//     shadow mode re-checks every column against the object state each tick).
 // The original monolithic sweep survives as RunOnceReference();
 // ControllerConfig::use_pipeline = false falls back to it wholesale (the
 // bench_controller_scale comparison baseline), and ControllerConfig::shadow_check
@@ -205,18 +210,28 @@ class FeedbackAllocator {
 
  private:
   struct Controlled {
+    // Hot scalars first: the Sample/Estimate/Resolve sweeps stream these every tick,
+    // so they pack into the leading cachelines ahead of the cold estimator state.
     SimThread* thread = nullptr;
     ThreadClass cls = ThreadClass::kMiscellaneous;
-    std::unique_ptr<ProportionEstimator> estimator;   // Real-rate / miscellaneous only.
-    std::unique_ptr<PeriodEstimator> period_estimator;  // Real-rate only.
-    Duration period;
+    // Per-tick scratch: written by the Sample stage, consumed by Estimate/Actuate.
+    bool tick_clean = false;
+    // The thread's slot in the registry's hot-field slabs (task/thread_slabs.h),
+    // cached at registration; kNoSlot when the registry runs slab-less. Stable for
+    // the thread's lifetime, so the pipeline reads columns without re-resolving.
+    int32_t slab_slot = ThreadSlabs::kNoSlot;
     // Real-time / aperiodic real-time reservation, in exact integer ppt (the
     // ledger's currency). The fraction view is derived, never stored separately.
     int32_t fixed_ppt = 0;
     double FixedFraction() const { return static_cast<double>(fixed_ppt) / 1000.0; }
+    Duration period;
     double desired = 0.0;
     double granted = 0.0;
     double last_pressure = 0.0;
+    double tick_used_fraction = 0.0;
+    // --- Cold per-thread state (touched off the per-tick hot path) ---
+    std::unique_ptr<ProportionEstimator> estimator;   // Real-rate / miscellaneous only.
+    std::unique_ptr<PeriodEstimator> period_estimator;  // Real-rate only.
     // Sliding window of per-interval saturation evidence (O(1) running count).
     std::unique_ptr<SaturationWindow> quality_window;
     // Saturation counters seen at the previous quality check, per linkage.
@@ -225,9 +240,6 @@ class FeedbackAllocator {
     // Dirty-set sampler state: linkage snapshot, cached pressure, cached fill-based
     // saturation verdict (real-rate only).
     LinkageCache linkage_cache;
-    // Per-tick scratch: written by the Sample stage, consumed by Estimate/Actuate.
-    double tick_used_fraction = 0.0;
-    bool tick_clean = false;
     // Fill samples for period estimation, sized to cover one period of intervals.
     std::unique_ptr<RingBuffer<double>> fill_window;
     TimePoint last_period_mark;
@@ -261,6 +273,17 @@ class FeedbackAllocator {
   // original sweep — removal order is schedule-visible through the squish).
   void DropExited();
   void EnsureQualityWindow(Controlled& c);
+  // Slab-column reads for the per-tick sweeps: threads bound to the registry's SoA
+  // slabs are read through their column (one contiguous stream across the controlled
+  // set) instead of a SimThread pointer chase; slab-less threads fall back to the
+  // object. Both sides are write-through mirrors of the same state, so the values
+  // are identical by construction (and shadow mode asserts it every tick).
+  bool ExitedOf(const Controlled& c) const;
+  CpuId CpuOf(const Controlled& c) const;
+  double ImportanceOf(const Controlled& c) const;
+  // Publishes the tick's progress pressure into the slab's pressure column — this
+  // controller is that column's sole writer.
+  void MirrorPressure(const Controlled& c);
 
   // --- The staged pipeline (use_pipeline) ---
   void RunOncePipeline(TimePoint now);
@@ -304,6 +327,9 @@ class FeedbackAllocator {
   // Find, O(1) Remove by last-slot swap.
   std::unordered_map<ThreadId, size_t> slot_of_;
   BudgetLedger ledger_;
+  // The registry's hot-field slabs (null when the registry runs slab-less); the
+  // source the column helpers above read and the pressure column's write target.
+  ThreadSlabs* slabs_ = nullptr;
   // Per-core scratch reused across ticks by Resolve/Actuate.
   std::vector<std::vector<SquishRequest>> core_requests_;
   std::vector<std::vector<size_t>> core_slots_;

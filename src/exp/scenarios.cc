@@ -442,8 +442,12 @@ ServerFarmResult RunServerFarmScenario(const ServerFarmParams& params) {
   config.rbs = params.rbs;
   config.machine.idle_fast_forward = params.idle_fast_forward;
   config.controller = params.controller;
+  config.thread_slabs = params.thread_slabs;
   System system(config);
   system.sim().trace().SetEnabled(true);
+  // The farm result only reads the trace hash; at production densities the farm
+  // records millions of events, so skip storing them (the fold is bit-identical).
+  system.sim().trace().SetHashOnly(true);
 
   std::vector<SimThread*> consumers;
   consumers.reserve(static_cast<size_t>(params.num_pipelines));

@@ -260,6 +260,10 @@ struct ServerFarmParams {
   // mode-equivalence test) can A/B the staged pipeline against the reference sweep
   // on the same farm. Defaults are the production configuration.
   ControllerConfig controller;
+  // Memory-layout knob (SystemConfig::thread_slabs): hot-field slab columns on
+  // (production) vs the pre-slab SimThread pointer chase — bench_dispatch_scale's
+  // A/B axis, and the golden slab-equivalence test's two sides.
+  bool thread_slabs = true;
 };
 
 struct ServerFarmResult {

@@ -8,6 +8,7 @@ namespace realrate {
 
 System::System(const SystemConfig& config)
     : sim_(std::make_unique<Simulator>(config.cpu, config.num_cpus)),
+      threads_(config.thread_slabs),
       start_controller_(config.start_controller) {
   RR_EXPECTS(config.num_cpus >= 1);
   std::vector<Scheduler*> schedulers;

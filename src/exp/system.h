@@ -30,6 +30,11 @@ struct SystemConfig {
   // If false the controller is constructed but never scheduled (Fig. 8 measures the
   // dispatcher alone).
   bool start_controller = true;
+  // Hot-field slabs (task/thread_slabs.h): keep the registry's SoA columns and let
+  // the dispatch/control layers scan them. Off = every layer falls back to the
+  // SimThread pointer chase — the pre-slab memory layout, kept as the A/B reference
+  // (bench_dispatch_scale) and the trace-equality oracle's other side.
+  bool thread_slabs = true;
 };
 
 class System {

@@ -14,7 +14,7 @@ Machine::Machine(Simulator& sim, Scheduler& scheduler, ThreadRegistry& registry,
 
 Machine::Machine(Simulator& sim, std::vector<Scheduler*> schedulers, ThreadRegistry& registry,
                  const MachineConfig& config)
-    : sim_(sim), registry_(registry), config_(config) {
+    : sim_(sim), registry_(registry), config_(config), slabs_(registry.slabs()) {
   RR_EXPECTS(!schedulers.empty());
   RR_EXPECTS(static_cast<int>(schedulers.size()) == sim.num_cpus());
   RR_EXPECTS(config.dispatch_interval.IsPositive());
@@ -60,6 +60,19 @@ CpuId Machine::LeastLoadedCore(const SimThread* placing) const {
 
 double Machine::ReservedFractionOn(CpuId core, const SimThread* excluding) const {
   double sum = 0.0;
+  if (UseColumns()) {
+    // Slot order == registry creation order, so this double sum adds the exact same
+    // terms in the exact same order as the pointer sweep — bit-identical result.
+    const int32_t ex = excluding != nullptr ? excluding->slab_slot() : ThreadSlabs::kNoSlot;
+    const int32_t n = slabs_->slot_count();
+    for (int32_t s = 0; s < n; ++s) {
+      if (s != ex && slabs_->cpu(s) == core && slabs_->state(s) != ThreadState::kExited &&
+          slabs_->policy(s) == SchedPolicy::kReservation) {
+        sum += Proportion::Ppt(slabs_->granted_ppt(s)).ToFraction();
+      }
+    }
+    return sum;
+  }
   for (const SimThread* t : registry_.All()) {
     if (t != excluding && t->cpu() == core && !t->HasExited() &&
         t->policy() == SchedPolicy::kReservation) {
@@ -71,12 +84,53 @@ double Machine::ReservedFractionOn(CpuId core, const SimThread* excluding) const
 
 int Machine::ThreadCountOn(CpuId core, const SimThread* excluding) const {
   int count = 0;
+  if (UseColumns()) {
+    const int32_t ex = excluding != nullptr ? excluding->slab_slot() : ThreadSlabs::kNoSlot;
+    const int32_t n = slabs_->slot_count();
+    for (int32_t s = 0; s < n; ++s) {
+      if (s != ex && slabs_->cpu(s) == core && slabs_->state(s) != ThreadState::kExited) {
+        ++count;
+      }
+    }
+    return count;
+  }
   for (const SimThread* t : registry_.All()) {
     if (t != excluding && t->cpu() == core && !t->HasExited()) {
       ++count;
     }
   }
   return count;
+}
+
+uint64_t Machine::SleepGenOf(ThreadId id) const {
+  if (slabs_ != nullptr) {
+    return static_cast<size_t>(id) < sleep_gen_dense_.size()
+               ? sleep_gen_dense_[static_cast<size_t>(id)]
+               : 0;
+  }
+  const auto it = sleep_generation_.find(id);
+  return it == sleep_generation_.end() ? 0 : it->second;
+}
+
+void Machine::SetSleepGen(ThreadId id, uint64_t gen) {
+  if (slabs_ != nullptr) {
+    if (static_cast<size_t>(id) >= sleep_gen_dense_.size()) {
+      sleep_gen_dense_.resize(static_cast<size_t>(id) + 1, 0);
+    }
+    sleep_gen_dense_[static_cast<size_t>(id)] = gen;
+    return;
+  }
+  sleep_generation_[id] = gen;
+}
+
+void Machine::ClearSleepGen(ThreadId id) {
+  if (slabs_ != nullptr) {
+    if (static_cast<size_t>(id) < sleep_gen_dense_.size()) {
+      sleep_gen_dense_[static_cast<size_t>(id)] = 0;
+    }
+    return;
+  }
+  sleep_generation_.erase(id);
 }
 
 void Machine::Attach(SimThread* thread) {
@@ -130,6 +184,16 @@ void Machine::Attach(TtyPort* tty) {
 }
 
 void Machine::Wake(ThreadId thread_id) {
+  if (slabs_ != nullptr) {
+    // Registry slots are never released, so slot == id: the state column answers
+    // the spurious-wake test without dragging the cold thread record into cache.
+    // (Buffers wake every waiter on each operation, so most wakes are spurious.)
+    const auto slot = static_cast<int32_t>(thread_id);
+    if (slot < 0 || slot >= slabs_->slot_count() ||
+        slabs_->state(slot) != ThreadState::kBlocked) {
+      return;  // Spurious or stale wake.
+    }
+  }
   SimThread* thread = registry_.Find(thread_id);
   if (thread == nullptr || thread->state() != ThreadState::kBlocked) {
     return;  // Spurious or stale wake.
@@ -152,8 +216,8 @@ void Machine::SleepUntil(SimThread* thread, TimePoint wake_at) {
   ResumeTicking();
   thread->set_state(ThreadState::kSleeping);
   const uint64_t gen = next_generation_++;
-  sleep_generation_[thread->id()] = gen;
-  sleepers_.push({wake_at, gen, thread->id()});
+  SetSleepGen(thread->id(), gen);
+  PushSleeper(SleepEntry{wake_at, gen, thread->id()});
   CoreAt(thread->cpu()).scheduler->OnBlock(thread, sim_.Now());
 }
 
@@ -163,7 +227,7 @@ void Machine::CancelSleep(SimThread* thread) {
     return;
   }
   ResumeTicking();
-  sleep_generation_.erase(thread->id());  // The heap entry becomes stale.
+  ClearSleepGen(thread->id());  // The heap entry becomes stale.
   thread->set_state(ThreadState::kRunnable);
   thread->set_last_wake_time(sim_.Now());
   thread->work().OnWake(sim_.Now());
@@ -219,18 +283,88 @@ int64_t Machine::context_switches() const {
   return total;
 }
 
+void Machine::PushSleeper(const SleepEntry& entry) {
+  const int64_t interval = config_.dispatch_interval.nanos();
+  const int64_t due_tick = entry.wake_at.nanos() / interval;
+  if (sleep_wheel_cursor_ == kNoTick) {
+    sleep_wheel_.resize(static_cast<size_t>(kSleepWheelTicks));
+    sleep_wheel_cursor_ = sim_.Now().nanos() / interval;
+  }
+  // The cursor never exceeds floor(now / interval) and wake_at >= now, so due_tick
+  // is always inside or past the window — never behind it.
+  if (due_tick - sleep_wheel_cursor_ < kSleepWheelTicks) {
+    sleep_wheel_[static_cast<size_t>(due_tick % kSleepWheelTicks)].push_back(entry);
+    ++sleep_wheel_count_;
+  } else {
+    sleepers_.push(entry);
+  }
+}
+
 void Machine::WakeExpiredSleepers(TimePoint now) {
   // The global timer interrupt is serviced by the boot core; its cost lands there.
   Cpu& cpu = sim_.cpu(0);
   bool any_expired = false;
+  // Gather this tick's due sleepers from both levels, then sort the batch into the
+  // (wake_at, generation) order the single heap used to pop in — stale entries are
+  // filtered below and have no effects, so only the live ordering matters.
+  wake_batch_.clear();
+  if (sleep_wheel_count_ > 0) {
+    const int64_t interval = config_.dispatch_interval.nanos();
+    const int64_t now_tick = now.nanos() / interval;
+    const int64_t last =
+        std::min(now_tick, sleep_wheel_cursor_ + kSleepWheelTicks - 1);
+    for (int64_t t = sleep_wheel_cursor_; t <= last; ++t) {
+      auto& bucket = sleep_wheel_[static_cast<size_t>(t % kSleepWheelTicks)];
+      if (bucket.empty()) {
+        continue;
+      }
+      if (t < now_tick) {  // Whole bucket is due.
+        wake_batch_.insert(wake_batch_.end(), bucket.begin(), bucket.end());
+        sleep_wheel_count_ -= static_cast<int64_t>(bucket.size());
+        bucket.clear();
+      } else {  // The current tick's bucket: only entries at or before `now`.
+        for (size_t i = 0; i < bucket.size();) {
+          if (bucket[i].wake_at <= now) {
+            wake_batch_.push_back(bucket[i]);
+            bucket[i] = bucket.back();
+            bucket.pop_back();
+            --sleep_wheel_count_;
+          } else {
+            ++i;
+          }
+        }
+      }
+    }
+  }
+  if (sleep_wheel_cursor_ != kNoTick) {
+    sleep_wheel_cursor_ =
+        std::max(sleep_wheel_cursor_, now.nanos() / config_.dispatch_interval.nanos());
+  }
   while (!sleepers_.empty() && sleepers_.top().wake_at <= now) {
-    const SleepEntry entry = sleepers_.top();
+    wake_batch_.push_back(sleepers_.top());
     sleepers_.pop();
-    auto it = sleep_generation_.find(entry.thread);
-    if (it == sleep_generation_.end() || it->second != entry.generation) {
+  }
+  std::sort(wake_batch_.begin(), wake_batch_.end(),
+            [](const SleepEntry& a, const SleepEntry& b) {
+              if (a.wake_at != b.wake_at) {
+                return a.wake_at < b.wake_at;
+              }
+              return a.generation < b.generation;
+            });
+  for (const SleepEntry& entry : wake_batch_) {
+    if (SleepGenOf(entry.thread) != entry.generation) {
       continue;  // Stale entry: thread was re-slept or woken through another path.
     }
-    sleep_generation_.erase(it);
+    ClearSleepGen(entry.thread);
+    if (slabs_ != nullptr) {
+      // Slot == id (registry slots are never released): answer the not-sleeping
+      // test from the state column before touching the thread record.
+      const auto slot = static_cast<int32_t>(entry.thread);
+      if (slot < 0 || slot >= slabs_->slot_count() ||
+          slabs_->state(slot) != ThreadState::kSleeping) {
+        continue;
+      }
+    }
     SimThread* thread = registry_.Find(entry.thread);
     if (thread == nullptr || thread->state() != ThreadState::kSleeping) {
       continue;
@@ -297,10 +431,14 @@ bool Machine::ShouldSuspend() const {
       return false;
     }
   }
+  // A runnable thread — including a reserved one waiting out an exhausted budget,
+  // whose replenishment at a period boundary must be observed on time — means
+  // upcoming ticks are not no-ops. The slabs maintain the runnable census
+  // incrementally, collapsing the per-round registry sweep to one comparison.
+  if (UseColumns()) {
+    return slabs_->runnable_count() == 0;
+  }
   for (const SimThread* t : registry_.All()) {
-    // A runnable thread — including a reserved one waiting out an exhausted budget,
-    // whose replenishment at a period boundary must be observed on time — means
-    // upcoming ticks are not no-ops.
     if (!t->HasExited() && t->state() == ThreadState::kRunnable) {
       return false;
     }
@@ -321,16 +459,36 @@ void Machine::Suspend() {
 }
 
 void Machine::ArmHorizon() {
-  // Drop stale sleep entries so the horizon tracks the earliest *live* sleeper.
+  // Drop stale far-heap entries so the horizon tracks the earliest *live* sleeper.
   while (!sleepers_.empty()) {
     const SleepEntry& top = sleepers_.top();
-    auto it = sleep_generation_.find(top.thread);
-    if (it != sleep_generation_.end() && it->second == top.generation) {
+    if (SleepGenOf(top.thread) == top.generation) {
       break;
     }
     sleepers_.pop();
   }
-  if (sleepers_.empty()) {
+  // Earliest live wake time across both sleeper levels. The wheel scan is bounded
+  // by the window size and only runs at suspension, never on the tick path.
+  bool have_wake = false;
+  TimePoint earliest_wake;
+  if (!sleepers_.empty()) {
+    have_wake = true;
+    earliest_wake = sleepers_.top().wake_at;
+  }
+  if (sleep_wheel_count_ > 0) {
+    for (const auto& bucket : sleep_wheel_) {
+      for (const SleepEntry& entry : bucket) {
+        if (SleepGenOf(entry.thread) != entry.generation) {
+          continue;
+        }
+        if (!have_wake || entry.wake_at < earliest_wake) {
+          have_wake = true;
+          earliest_wake = entry.wake_at;
+        }
+      }
+    }
+  }
+  if (!have_wake) {
     return;  // Fully quiescent: only an external stimulus can resume the machine.
   }
   // The tick that services a sleeper is the first grid point at or after its wake
@@ -339,7 +497,7 @@ void Machine::ArmHorizon() {
   // not at simulator time zero: a machine started off-grid still wakes on its own
   // tick boundaries.
   const int64_t interval = config_.dispatch_interval.nanos();
-  const int64_t after = sleepers_.top().wake_at.nanos() - accounted_through_.nanos();
+  const int64_t after = earliest_wake.nanos() - accounted_through_.nanos();
   // The dispatch path cannot leave a due sleeper behind (the round that slept it had
   // a pick, and its core-0 tick woke anything already expired), but SleepUntil's
   // contract allows wake_at == Now(): a sleeper due at or before the last tick is
@@ -568,20 +726,42 @@ void Machine::Rebalance() {
       break;
     }
     // Smallest positive reservation on the over-subscribed core (tie: lowest id).
+    // The rebalancer selects and moves slots (slot order == id order), reading the
+    // cpu/state/policy/ppt columns; only the chosen victim's record is touched.
     SimThread* victim = nullptr;
     double victim_fraction = 0.0;
-    for (SimThread* t : registry_.All()) {
-      if (t->cpu() != hi || t->HasExited() || t->policy() != SchedPolicy::kReservation ||
-          t->state() == ThreadState::kRunning) {
-        continue;
+    if (UseColumns()) {
+      const int32_t slots = slabs_->slot_count();
+      for (int32_t s = 0; s < slots; ++s) {
+        const ThreadState state = slabs_->state(s);
+        if (slabs_->cpu(s) != hi || state == ThreadState::kExited ||
+            state == ThreadState::kRunning ||
+            slabs_->policy(s) != SchedPolicy::kReservation) {
+          continue;
+        }
+        const double f = Proportion::Ppt(slabs_->granted_ppt(s)).ToFraction();
+        if (f <= 0.0) {
+          continue;
+        }
+        if (victim == nullptr || f < victim_fraction - 1e-12) {
+          victim = slabs_->thread_at(s);
+          victim_fraction = f;
+        }
       }
-      const double f = t->proportion().ToFraction();
-      if (f <= 0.0) {
-        continue;
-      }
-      if (victim == nullptr || f < victim_fraction - 1e-12) {
-        victim = t;
-        victim_fraction = f;
+    } else {
+      for (SimThread* t : registry_.All()) {
+        if (t->cpu() != hi || t->HasExited() || t->policy() != SchedPolicy::kReservation ||
+            t->state() == ThreadState::kRunning) {
+          continue;
+        }
+        const double f = t->proportion().ToFraction();
+        if (f <= 0.0) {
+          continue;
+        }
+        if (victim == nullptr || f < victim_fraction - 1e-12) {
+          victim = t;
+          victim_fraction = f;
+        }
       }
     }
     // Accept the move only if it strictly narrows the spread AND leaves the

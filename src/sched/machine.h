@@ -218,6 +218,22 @@ class Machine {
     }
   };
 
+  // True when the registry's hot-field slabs cover every registry thread, so the
+  // machine-wide sweeps (census, rebalancer victim scan, idle-suspension check) can
+  // read slab columns in slot order — which is registry creation order, preserving
+  // even floating-point summation order — instead of chasing SimThread*.
+  bool UseColumns() const {
+    return slabs_ != nullptr && slabs_->live_count() == static_cast<int64_t>(registry_.size());
+  }
+
+  // Sleep-generation bookkeeping: which incarnation of "this thread is asleep" the
+  // heap entries refer to (0 = not asleep). Slab-backed registries use a dense
+  // ThreadId-indexed vector (the timer path is hot at farm scale); legacy registries
+  // keep the unordered_map.
+  uint64_t SleepGenOf(ThreadId id) const;
+  void SetSleepGen(ThreadId id, uint64_t gen);
+  void ClearSleepGen(ThreadId id);
+
   // Per-core dispatcher state: the run queue (scheduler) plus everything the
   // pre-SMP Machine kept as single members.
   struct Core {
@@ -242,6 +258,9 @@ class Machine {
 
   void Tick(CpuId core);
   void WakeExpiredSleepers(TimePoint now);
+  // Files a sleeper into the timing wheel (short sleeps, the common case) or the
+  // far heap (wakes beyond the wheel window).
+  void PushSleeper(const SleepEntry& entry);
   // Runs work for up to `cycles_left` on `core`; one iteration of the intra-tick
   // dispatch loop.
   void DispatchLoop(Core& core, CpuId core_id, TimePoint now, Cycles cycles_left);
@@ -275,8 +294,25 @@ class Machine {
   std::vector<Core> cores_;
   Cycles cycles_per_tick_ = 0;
 
+  const ThreadSlabs* slabs_ = nullptr;  // The registry's slabs (null when disabled).
+
+  // Sleeper bookkeeping is a two-level structure. Short sleeps — the overwhelmingly
+  // common case: one reservation period, a few dispatch ticks — go into a timing
+  // wheel of per-tick buckets (O(1) push_back, one bucket append/clear per tick)
+  // instead of sifting through a machine-wide binary heap on every block and wake.
+  // Sleeps past the wheel window land in the far heap, which works exactly like the
+  // original single heap. WakeExpiredSleepers merges both sources and sorts the due
+  // batch by (wake_at, generation) — the order the single heap popped in — so wake
+  // processing, and therefore the trace, is bit-identical to the one-heap machine.
+  static constexpr int64_t kSleepWheelTicks = 128;
+  static constexpr int64_t kNoTick = INT64_MIN;
+  std::vector<std::vector<SleepEntry>> sleep_wheel_;  // Ring of kSleepWheelTicks buckets.
+  int64_t sleep_wheel_cursor_ = kNoTick;  // First undrained tick index.
+  int64_t sleep_wheel_count_ = 0;         // Entries currently in the wheel.
+  std::vector<SleepEntry> wake_batch_;    // WakeExpiredSleepers's reused scratch.
   std::priority_queue<SleepEntry, std::vector<SleepEntry>, std::greater<SleepEntry>> sleepers_;
-  std::unordered_map<ThreadId, uint64_t> sleep_generation_;
+  std::unordered_map<ThreadId, uint64_t> sleep_generation_;  // Legacy (no-slab) path.
+  std::vector<uint64_t> sleep_gen_dense_;                    // Slab-backed path.
   uint64_t next_generation_ = 1;
 
   // Fast-forward state: the last tick grid point whose effects (real or replayed)

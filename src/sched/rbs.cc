@@ -12,14 +12,24 @@ namespace {
 // score in [1, kRmBase).
 constexpr int64_t kRmBase = int64_t{1} << 40;
 
-// The rate-monotonic bonus: the period rank expressed as periods-per-hour so that any
-// realistic period (>= 1 ms) maps to a positive, strictly rate-ordered value. Shared
-// by Goodness (the reference semantics) and the pick index (the incrementally
-// maintained key), so the two can never disagree on ordering.
-int64_t RmRank(const SimThread* thread) { return Duration::Seconds(3600) / thread->period(); }
+// The rate-monotonic bonus is PeriodRank (task/thread_slabs.h): periods-per-hour,
+// shared by Goodness (the reference semantics), the pick index (the incrementally
+// maintained key), and the slab rm_rank column, so no consumer can disagree on
+// ordering.
+int64_t RmRank(const SimThread* thread) { return PeriodRank(thread->period()); }
 }  // namespace
 
-RbsScheduler::RbsScheduler(const Cpu& cpu, const RbsConfig& config) : cpu_(cpu), config_(config) {}
+RbsScheduler::RbsScheduler(const Cpu& cpu, const RbsConfig& config) : cpu_(cpu), config_(config) {
+  // Normalize the mode: the legacy use_indexed_pick = false wins (the pre-index
+  // reference build), and shadow mode must exercise the index it validates, so kAuto
+  // hardens to kIndexed under shadow_check.
+  if (!config_.use_indexed_pick) {
+    config_.pick_mode = PickMode::kReference;
+  } else if (config_.pick_mode == PickMode::kAuto && config_.shadow_check) {
+    config_.pick_mode = PickMode::kIndexed;
+  }
+  indexing_on_ = config_.pick_mode == PickMode::kIndexed;
+}
 
 RbsScheduler::~RbsScheduler() {
   for (auto& [thread, node] : nodes_) {
@@ -38,8 +48,8 @@ RbsScheduler::Node* RbsScheduler::FindNode(SimThread* thread) {
 }
 
 void RbsScheduler::Reindex(SimThread* thread) {
-  if (!config_.use_indexed_pick) {
-    return;  // Reference build: no index to maintain (the A/B stays a fair fight).
+  if (!indexing_on_) {
+    return;  // Reference mode: no index to maintain (the A/B stays a fair fight).
   }
   Node* node = FindNode(thread);
   if (node == nullptr) {
@@ -72,50 +82,152 @@ void RbsScheduler::Reindex(SimThread* thread) {
     if (eligible && primary == node->pick_primary) {
       return;  // Membership and key unchanged: the common OnRan case, O(1).
     }
-    pick_index_.erase(PickKey{node->pick_primary, node->seq, thread});
-    node->in_pick_index = false;
+    node->in_pick_index = false;  // The heap entry is now stale (generation mismatch).
+    if (node->pick_slot != ThreadSlabs::kNoSlot) {
+      pick_gen_by_slot_[static_cast<size_t>(node->pick_slot)] = 0;
+    }
+    --pick_live_;
   }
   if (eligible) {
-    pick_index_.insert(PickKey{primary, node->seq, thread});
+    node->pick_gen = next_gen_++;
+    const int32_t slot = slabs_ != nullptr && thread->bound_slabs() == slabs_
+                             ? thread->slab_slot()
+                             : ThreadSlabs::kNoSlot;
+    node->pick_slot = slot;
+    if (slot != ThreadSlabs::kNoSlot) {
+      if (static_cast<size_t>(slot) >= pick_gen_by_slot_.size()) {
+        pick_gen_by_slot_.resize(static_cast<size_t>(slot) + 1, 0);
+      }
+      pick_gen_by_slot_[static_cast<size_t>(slot)] = node->pick_gen;
+    }
+    pick_index_.push_back(PickKey{primary, node->seq, node->pick_gen, slot, thread});
+    std::push_heap(pick_index_.begin(), pick_index_.end(), std::greater<PickKey>{});
     node->pick_primary = primary;
     node->in_pick_index = true;
+    ++pick_live_;
   }
+  if (pick_index_.size() > 64 &&
+      pick_index_.size() > 4 * static_cast<size_t>(pick_live_)) {
+    CompactPickIndex();
+  }
+}
+
+void RbsScheduler::CompactPickIndex() {
+  std::erase_if(pick_index_, [this](const PickKey& key) { return !PickEntryCurrent(key); });
+  std::make_heap(pick_index_.begin(), pick_index_.end(), std::greater<PickKey>{});
+  RR_CHECK(pick_index_.size() == static_cast<size_t>(pick_live_));
 }
 
 void RbsScheduler::RearmReplenish(SimThread* thread, Node& node) {
   node.replenish_gen = next_gen_++;  // Any older due-heap entry is now stale.
-  if (config_.use_indexed_pick && HasReservation(thread)) {
+  // With full slab coverage OnTick replenishes off the deadline column instead of
+  // the due-heap (see OnTick), so feeding the heap would only grow garbage.
+  if (indexing_on_ && !UseColumns() && HasReservation(thread)) {
     due_.push(DueEntry{thread->period_start() + thread->period(), node.seq,
                        node.replenish_gen, thread});
+  }
+}
+
+void RbsScheduler::ActivateIndexing() {
+  // Rebuild the pick index, occupancy counts, and due-heap from the thread vector.
+  // Reads only; no thread state changes, so the schedule is unaffected. The counts
+  // are zero here: they are only maintained while indexing is on, and Deactivate
+  // (or construction) zeroed them.
+  indexing_on_ = true;
+  for (SimThread* t : threads_) {
+    Node* node = FindNode(t);
+    RR_CHECK(node != nullptr);
+    RearmReplenish(t, *node);
+    Reindex(t);
+  }
+}
+
+void RbsScheduler::DeactivateIndexing() {
+  indexing_on_ = false;
+  pick_index_.clear();
+  pick_live_ = 0;
+  std::fill(pick_gen_by_slot_.begin(), pick_gen_by_slot_.end(), 0);
+  due_ = {};  // Entries would die by generation anyway; drop them wholesale.
+  runnable_unreserved_ = 0;
+  runnable_reserved_ = 0;
+  for (auto& [thread, node] : nodes_) {
+    node.in_pick_index = false;
+    node.counted_runnable = false;
+  }
+}
+
+void RbsScheduler::MaybeSwitchIndexing() {
+  if (config_.pick_mode != PickMode::kAuto) {
+    return;
+  }
+  const int n = static_cast<int>(threads_.size());
+  if (!indexing_on_ && n >= config_.auto_index_threshold) {
+    ActivateIndexing();
+  } else if (indexing_on_ && n < config_.auto_index_threshold / 2) {
+    DeactivateIndexing();
   }
 }
 
 void RbsScheduler::AddThread(SimThread* thread) {
   RR_EXPECTS(thread != nullptr);
   RR_EXPECTS(std::find(threads_.begin(), threads_.end(), thread) == threads_.end());
+  const bool had_columns = UseColumns();
   threads_.push_back(thread);
+  const int32_t slot = thread->slab_slot();
+  if (slot != ThreadSlabs::kNoSlot &&
+      (slabs_ == nullptr || slabs_ == thread->bound_slabs())) {
+    slabs_ = thread->bound_slabs();
+    slots_.push_back(slot);
+  } else {
+    slots_.push_back(ThreadSlabs::kNoSlot);  // Unbound (or foreign slab): no columns.
+    ++unbound_;
+  }
+  if (indexing_on_ && had_columns && !UseColumns()) {
+    // This thread just broke column coverage: OnTick falls back to the due-heap,
+    // which sat empty while the column sweep replenished. Re-arm every enqueued
+    // thread so the heap has a current entry per reservation again.
+    for (SimThread* t : threads_) {
+      if (Node* n = FindNode(t)) {
+        RearmReplenish(t, *n);
+      }
+    }
+  }
   Node& node = nodes_[thread];  // Node-based container: the address is stable.
   node.owner = this;
   node.seq = next_seq_++;
   thread->set_sched_slot(&node);
   RearmReplenish(thread, node);
   Reindex(thread);
+  MaybeSwitchIndexing();
 }
 
 void RbsScheduler::RemoveThread(SimThread* thread) {
-  threads_.erase(std::remove(threads_.begin(), threads_.end(), thread), threads_.end());
+  const auto it = std::find(threads_.begin(), threads_.end(), thread);
+  if (it != threads_.end()) {
+    const size_t idx = static_cast<size_t>(it - threads_.begin());
+    if (slots_[idx] == ThreadSlabs::kNoSlot) {
+      --unbound_;
+    }
+    threads_.erase(it);
+    slots_.erase(slots_.begin() + static_cast<ptrdiff_t>(idx));
+  }
   Node* node = FindNode(thread);
   if (node == nullptr) {
     return;
   }
   if (node->in_pick_index) {
-    pick_index_.erase(PickKey{node->pick_primary, node->seq, thread});
+    node->in_pick_index = false;  // Heap entry dies lazily (and by FindNode below).
+    if (node->pick_slot != ThreadSlabs::kNoSlot) {
+      pick_gen_by_slot_[static_cast<size_t>(node->pick_slot)] = 0;
+    }
+    --pick_live_;
   }
   if (node->counted_runnable) {
     --(node->counted_reserved ? runnable_reserved_ : runnable_unreserved_);
   }
   thread->set_sched_slot(nullptr);
   nodes_.erase(thread);  // Orphaned due-heap entries die by generation mismatch.
+  MaybeSwitchIndexing();
 }
 
 Cycles RbsScheduler::PeriodBudget(const SimThread* thread) const {
@@ -157,11 +269,43 @@ void RbsScheduler::Replenish(SimThread* thread, TimePoint now) {
 }
 
 void RbsScheduler::OnTick(TimePoint now) {
-  if (!config_.use_indexed_pick) {
-    // Reference build: the original per-tick O(n) replenish scan.
+  if (!indexing_on_) {
+    // Reference mode: the original per-tick O(n) replenish scan. With slab columns
+    // the scan pre-filters on the deadline column — Replenish's own early-out
+    // condition (now < period_start + period, i.e. now_ns < deadline_nanos) — so the
+    // common not-due tick streams three small columns and touches no thread object.
+    if (UseColumns()) {
+      const int64_t now_ns = now.nanos();
+      const size_t n = slots_.size();
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t s = slots_[i];
+        if (slabs_->policy(s) == SchedPolicy::kReservation && slabs_->granted_ppt(s) != 0 &&
+            slabs_->deadline_nanos(s) <= now_ns) {
+          Replenish(threads_[i], now);
+        }
+      }
+      return;
+    }
     for (SimThread* t : threads_) {
       if (HasReservation(t)) {
         Replenish(t, now);
+      }
+    }
+    return;
+  }
+  if (UseColumns()) {
+    // Indexed mode with full slab coverage: the deadline-column sweep replaces the
+    // due-heap — one streaming pass over three small columns per tick instead of
+    // two O(log n) heap sifts per thread-period. `threads_` order is admission
+    // (seq) order — RemoveThread erases and AddThread appends with a fresh seq —
+    // so the replenish order matches the due-heap path's seq sort exactly.
+    const int64_t now_ns = now.nanos();
+    const size_t n = slots_.size();
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t s = slots_[i];
+      if (slabs_->policy(s) == SchedPolicy::kReservation && slabs_->granted_ppt(s) != 0 &&
+          slabs_->deadline_nanos(s) <= now_ns) {
+        Replenish(threads_[i], now);
       }
     }
     return;
@@ -218,6 +362,46 @@ SimThread* RbsScheduler::PickReservedReference(TimePoint /*now*/) {
   // (shortest period). EDF: earliest deadline, where a thread's deadline is the end of
   // its current period. Ties broken by scan position — arrival order — matching the
   // pick index's sequence-number tiebreak.
+  //
+  // Column variant: same scan, same order, same strict comparisons, reading the slab
+  // columns (state, policy, ppt, budget, rank/deadline) instead of five scattered
+  // SimThread cachelines per candidate.
+  if (UseColumns()) {
+    SimThread* best = nullptr;
+    const size_t n = slots_.size();
+    if (config_.order == DispatchOrder::kEarliestDeadlineFirst) {
+      int64_t best_deadline = TimePoint::Max().nanos();
+      for (size_t i = 0; i < n; ++i) {
+        const int32_t s = slots_[i];
+        if (slabs_->state(s) != ThreadState::kRunnable ||
+            slabs_->policy(s) != SchedPolicy::kReservation || slabs_->granted_ppt(s) == 0 ||
+            slabs_->budget(s) <= 0) {
+          continue;
+        }
+        const int64_t deadline = slabs_->deadline_nanos(s);
+        if (deadline < best_deadline) {
+          best = threads_[i];
+          best_deadline = deadline;
+        }
+      }
+      return best;
+    }
+    int64_t best_rank = -1;  // Any reserved candidate (rank >= 0) beats "none".
+    for (size_t i = 0; i < n; ++i) {
+      const int32_t s = slots_[i];
+      if (slabs_->state(s) != ThreadState::kRunnable ||
+          slabs_->policy(s) != SchedPolicy::kReservation || slabs_->granted_ppt(s) == 0 ||
+          slabs_->budget(s) <= 0) {
+        continue;
+      }
+      const int64_t rank = slabs_->rm_rank(s);
+      if (rank > best_rank) {
+        best = threads_[i];
+        best_rank = rank;
+      }
+    }
+    return best;
+  }
   SimThread* best = nullptr;
   if (config_.order == DispatchOrder::kEarliestDeadlineFirst) {
     TimePoint best_deadline = TimePoint::Max();
@@ -248,17 +432,53 @@ SimThread* RbsScheduler::PickReservedReference(TimePoint /*now*/) {
 }
 
 SimThread* RbsScheduler::PickReservedIndexed() {
-  if (pick_index_.empty()) {
-    return nullptr;
+  // Drain lazily deleted entries off the top; each is popped exactly once, so the
+  // cost amortizes against the Reindex that staled it. The first current entry is
+  // the (primary, seq) minimum over all current entries — identical to what the
+  // ordered-set begin() returned.
+  while (!pick_index_.empty()) {
+    const PickKey top = pick_index_.front();
+    if (PickEntryCurrent(top)) {
+      // Index-integrity check: every mutation that can change eligibility must have
+      // gone through a Reindex hook; a wrong entry here means a change bypassed them.
+      RR_CHECK(top.thread->IsRunnable() && HasReservation(top.thread) &&
+               top.thread->budget_remaining() > 0);
+      return top.thread;
+    }
+    std::pop_heap(pick_index_.begin(), pick_index_.end(), std::greater<PickKey>{});
+    pick_index_.pop_back();
   }
-  SimThread* pick = pick_index_.begin()->thread;
-  // Index-integrity check: every mutation that can change eligibility must have gone
-  // through a Reindex hook; a stale entry here means a state change bypassed them.
-  RR_CHECK(pick->IsRunnable() && HasReservation(pick) && pick->budget_remaining() > 0);
-  return pick;
+  return nullptr;
+}
+
+bool RbsScheduler::PickEntryCurrent(const PickKey& key) {
+  if (key.slot != ThreadSlabs::kNoSlot) {
+    // One dense word per slot instead of a pointer chase through the thread record.
+    return pick_gen_by_slot_[static_cast<size_t>(key.slot)] == key.gen;
+  }
+  const Node* node = FindNode(key.thread);
+  return node != nullptr && node->in_pick_index && node->pick_gen == key.gen;
 }
 
 bool RbsScheduler::HasFallbackCandidate() const {
+  if (UseColumns()) {
+    for (const int32_t s : slots_) {
+      if (slabs_->state(s) != ThreadState::kRunnable) {
+        continue;
+      }
+      const bool reserved =
+          slabs_->policy(s) == SchedPolicy::kReservation && slabs_->granted_ppt(s) != 0;
+      const bool exhausted_reserved = reserved && slabs_->budget(s) <= 0;
+      if (exhausted_reserved && !config_.work_conserving) {
+        continue;
+      }
+      if (!exhausted_reserved && reserved) {
+        continue;
+      }
+      return true;
+    }
+    return false;
+  }
   for (SimThread* t : threads_) {
     if (!t->IsRunnable()) {
       continue;
@@ -279,8 +499,31 @@ SimThread* RbsScheduler::PickFallbackRoundRobin() {
   // No reserved thread can run: round-robin over the remaining runnables (non-reserved
   // threads, plus exhausted reserved threads when work-conserving). Verbatim from the
   // original scan — the cursor is positional, so this path stays O(n) but is gated by
-  // the occupancy counts in PickNext and only runs when it will find work.
+  // the occupancy counts in PickNext and only runs when it will find work. slots_ is
+  // index-aligned with threads_, so the column variant's cursor arithmetic and scan
+  // order are identical to the pointer scan's.
   const size_t n = threads_.size();
+  if (UseColumns()) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t idx = (rr_cursor_ + i) % n;
+      const int32_t s = slots_[idx];
+      if (slabs_->state(s) != ThreadState::kRunnable) {
+        continue;
+      }
+      const bool reserved =
+          slabs_->policy(s) == SchedPolicy::kReservation && slabs_->granted_ppt(s) != 0;
+      const bool exhausted_reserved = reserved && slabs_->budget(s) <= 0;
+      if (exhausted_reserved && !config_.work_conserving) {
+        continue;
+      }
+      if (!exhausted_reserved && reserved) {
+        continue;  // Has budget; already considered above.
+      }
+      rr_cursor_ = (idx + 1) % n;
+      return threads_[idx];
+    }
+    return nullptr;
+  }
   for (size_t i = 0; i < n; ++i) {
     SimThread* t = threads_[(rr_cursor_ + i) % n];
     if (!t->IsRunnable()) {
@@ -301,13 +544,17 @@ SimThread* RbsScheduler::PickFallbackRoundRobin() {
 
 SimThread* RbsScheduler::PickNext(TimePoint now) {
   SimThread* pick = nullptr;
-  if (config_.use_indexed_pick) {
+  if (indexing_on_) {
     pick = PickReservedIndexed();
     if (config_.shadow_check) {
       // Shadow-scheduler mode: the reference scan runs alongside (side-effect-free)
-      // and must agree with the index at every dispatch.
+      // and must agree with the index at every dispatch; the pick's slab columns
+      // must agree with its object fields.
       SimThread* reference = PickReservedReference(now);
       RR_CHECK(pick == reference);
+      if (pick != nullptr && slabs_ != nullptr && pick->bound_slabs() == slabs_) {
+        RR_CHECK(slabs_->MatchesObject(*pick));
+      }
       ++shadow_checks_;
     }
   } else {
@@ -316,7 +563,7 @@ SimThread* RbsScheduler::PickNext(TimePoint now) {
   if (pick != nullptr) {
     return pick;
   }
-  if (config_.use_indexed_pick) {
+  if (indexing_on_) {
     // Secondary (occupancy) index: skip the positional fallback scan outright when no
     // round-robin candidate exists — the common case in a farm of blocked threads.
     // Reserved threads with budget are all in the (empty, or we would not be here)
@@ -415,6 +662,15 @@ void RbsScheduler::ApplyReservations(const std::vector<ReservationUpdate>& batch
 }
 
 Proportion RbsScheduler::TotalReserved() const {
+  if (UseColumns()) {
+    int32_t total_ppt = 0;
+    for (const int32_t s : slots_) {
+      if (slabs_->policy(s) == SchedPolicy::kReservation) {
+        total_ppt += slabs_->granted_ppt(s);
+      }
+    }
+    return Proportion::Ppt(total_ppt);
+  }
   Proportion total = Proportion::Zero();
   for (const SimThread* t : threads_) {
     if (t->policy() == SchedPolicy::kReservation) {

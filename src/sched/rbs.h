@@ -8,11 +8,14 @@
 //
 // Dispatch hot path (see docs/ARCHITECTURE.md, "The dispatch hot path"): PickNext is
 // O(log n) against indexed run queues rather than the original O(n) goodness scan.
-//   - Reserved threads with remaining budget live in an ordered pick index keyed by
+//   - Reserved threads with remaining budget live in a pick index keyed by
 //     incrementally maintained period rank (rate-monotonic mode) or period deadline
 //     (EDF mode), with the thread's admission sequence number as the tiebreaker —
 //     exactly the tie order of the original scan, which resolved equal goodness by
-//     position in the (arrival-ordered) thread vector.
+//     position in the (arrival-ordered) thread vector. The index is a vector-backed
+//     min-heap with lazy deletion (generation-stamped entries), so the block/wake
+//     storm of a dense farm costs O(1) per eligibility exit and an allocation-free
+//     O(log n) push per entry, with no tree nodes to chase.
 //   - Period replenishment is driven by a due-heap keyed by period end, so OnTick
 //     touches only the threads whose period actually closed instead of all n.
 //   - Best-effort (and, in work-conserving mode, budget-exhausted) threads are
@@ -23,6 +26,19 @@
 // every PickNext assert indexed pick == reference pick (the shadow-scheduler mode the
 // fuzz harness runs), and RbsConfig::use_indexed_pick = false falls back to the
 // reference scan wholesale (the bench_dispatch_scale comparison build).
+//
+// Pick modes (RbsConfig::pick_mode): the index wins big at high occupancy but its
+// maintenance (Reindex on every state/budget mutation, due-heap churn) is pure
+// overhead at a handful of threads per core, where the O(n) scan fits in a few
+// cachelines. kAuto therefore runs maintenance-off below auto_index_threshold
+// enqueued threads and switches the index on (rebuilding it from the thread vector,
+// O(n log n) once) when the run queue grows past it, with 2x hysteresis on the way
+// down. Both modes produce bit-identical schedules, so switching is trace-invariant.
+//
+// When every enqueued thread is bound to hot-field slabs (task/thread_slabs.h), the
+// reference scan, the fallback gate, the per-tick replenish sweep, and TotalReserved
+// read the slab columns instead of chasing SimThread* — same order, same ties, same
+// result, a fraction of the cachelines.
 #ifndef REALRATE_SCHED_RBS_H_
 #define REALRATE_SCHED_RBS_H_
 
@@ -30,12 +46,12 @@
 #include <functional>
 #include <optional>
 #include <queue>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "sched/scheduler.h"
 #include "sim/cpu.h"
+#include "task/thread_slabs.h"
 
 namespace realrate {
 
@@ -49,17 +65,34 @@ enum class DispatchOrder : uint8_t {
   kEarliestDeadlineFirst,
 };
 
+// How PickNext finds the best reserved thread (see the header comment).
+enum class PickMode : uint8_t {
+  kAuto,       // Reference scan below auto_index_threshold, indexed above.
+  kIndexed,    // Always maintain and use the indexed run queues.
+  kReference,  // Always the O(n) scan; no index maintenance at all.
+};
+
 struct RbsConfig {
   // If true, threads with exhausted budgets may still run when the CPU would otherwise
   // idle (background mode). The paper's prototype is non-work-conserving: exhausted
   // threads sleep until their next period. Default matches the paper.
   bool work_conserving = false;
   DispatchOrder order = DispatchOrder::kRateMonotonic;
-  // If false, the scheduler runs as the pre-index reference build: PickNext uses the
-  // O(n) goodness scan, OnTick uses the O(n) per-tick replenish sweep, and no index
-  // maintenance happens at all — the comparison baseline bench_dispatch_scale
-  // measures against. Behavior (schedule, trace) is identical either way.
+  // Legacy switch predating pick_mode: if false, the scheduler runs as the pre-index
+  // reference build (pick_mode = kReference) — PickNext uses the O(n) goodness scan,
+  // OnTick uses the O(n) per-tick replenish sweep, and no index maintenance happens
+  // at all; the comparison baseline bench_dispatch_scale measures against. Behavior
+  // (schedule, trace) is identical in every mode.
   bool use_indexed_pick = true;
+  // Reference vs indexed selection (only consulted when use_indexed_pick is true).
+  // kAuto is the production default: per-core occupancy decides.
+  PickMode pick_mode = PickMode::kAuto;
+  // kAuto's switch-on point: enqueued-thread count at which this core's scheduler
+  // starts maintaining the indexed run queues. Tuned on bench_dispatch_scale so the
+  // farm e2e never loses to the reference scan at low density and keeps the indexed
+  // win at high density (crossover sits between 64 and 128 threads/core). Indexing
+  // switches back off below half this (hysteresis against add/remove flapping).
+  int auto_index_threshold = 96;
   // Shadow-scheduler mode: every PickNext computes both the indexed pick and the
   // reference scan pick and asserts they are identical. Used by the fuzz harness
   // (RunOptions::rbs_shadow_check) to pin the indexed structures to the original
@@ -130,6 +163,10 @@ class RbsScheduler : public Scheduler {
   const std::vector<SimThread*>& threads() const { return threads_; }
   // Shadow-mode observability: picks that ran both implementations and agreed.
   int64_t shadow_checks() const { return shadow_checks_; }
+  // Pick-mode observability: is the indexed hot path being maintained right now?
+  // Constant under kIndexed/kReference; under kAuto it tracks the occupancy
+  // threshold.
+  bool indexing_active() const { return indexing_on_; }
 
  private:
   // Per-thread bookkeeping owned by this scheduler (not the thread): the admission
@@ -140,22 +177,29 @@ class RbsScheduler : public Scheduler {
     uint64_t seq = 0;
     bool in_pick_index = false;
     int64_t pick_primary = 0;       // Key snapshot while in the pick index.
+    uint64_t pick_gen = 0;          // Generation of the current pick-heap entry.
+    int32_t pick_slot = ThreadSlabs::kNoSlot;  // Slab slot of that entry, if bound.
     bool counted_runnable = false;  // Contributes to the occupancy counts below.
     bool counted_reserved = false;  // Which count it contributes to.
     uint64_t replenish_gen = 0;     // Current generation; stale heap entries mismatch.
   };
 
-  // Ordered pick index element. Comparison is (rank desc | deadline asc, seq asc):
-  // begin() is exactly the thread the reference scan would return.
+  // Pick-index element. Ordering is (rank desc | deadline asc, seq asc): the heap
+  // minimum is exactly the thread the reference scan would return. Entries are
+  // lazily deleted — `gen` matches Node::pick_gen only while the entry is current;
+  // eligibility changes just bump the node's generation (O(1)) and the dead entry
+  // is discarded when it surfaces at the heap top.
   struct PickKey {
     int64_t primary = 0;  // -rm_rank, or the EDF deadline in nanos.
     uint64_t seq = 0;
+    uint64_t gen = 0;     // Current iff == the owning Node's pick_gen.
+    int32_t slot = ThreadSlabs::kNoSlot;  // Slab slot, for object-free stale checks.
     SimThread* thread = nullptr;
-    bool operator<(const PickKey& other) const {
+    bool operator>(const PickKey& other) const {
       if (primary != other.primary) {
-        return primary < other.primary;
+        return primary > other.primary;
       }
-      return seq < other.seq;
+      return seq > other.seq;
     }
   };
 
@@ -193,16 +237,48 @@ class RbsScheduler : public Scheduler {
   // Side-effect-free: would the round-robin fallback scan find a candidate? Used by
   // shadow mode to validate the occupancy counts that gate the scan.
   bool HasFallbackCandidate() const;
+  // kAuto transitions. Activation rebuilds the pick index, occupancy counts, and
+  // due-heap from the thread vector; deactivation tears them down. Neither changes
+  // any thread's state, so the schedule is unaffected.
+  void ActivateIndexing();
+  void DeactivateIndexing();
+  void MaybeSwitchIndexing();
+  // Rebuilds pick_index_ without its stale entries when they outnumber live ones
+  // 4:1, so lazy deletion cannot grow the heap unboundedly. Amortized O(1) per
+  // logical erase.
+  void CompactPickIndex();
+  // Is this heap entry the current one for its thread (vs lazily deleted)?
+  bool PickEntryCurrent(const PickKey& key);
+  // True when every enqueued thread is slab-bound, so the reference scan, the
+  // fallback gate, the replenish sweep, and TotalReserved can read columns.
+  bool UseColumns() const { return slabs_ != nullptr && unbound_ == 0; }
 
   const Cpu& cpu_;
   RbsConfig config_;
   std::vector<SimThread*> threads_;
+  // threads_[i]'s slab slot (ThreadSlabs::kNoSlot when unbound), kept index-aligned
+  // with threads_ so column scans preserve scan order, ties, and the round-robin
+  // cursor arithmetic.
+  std::vector<int32_t> slots_;
+  const ThreadSlabs* slabs_ = nullptr;  // The slab every bound thread belongs to.
+  size_t unbound_ = 0;                  // Enqueued threads without a slab slot.
   DeadlineMissFn miss_fn_;
   size_t rr_cursor_ = 0;  // Round-robin position among non-reserved threads.
+  bool indexing_on_ = false;  // Maintain/use the indexed structures right now?
 
   // --- Indexed hot-path state ---
   std::unordered_map<SimThread*, Node> nodes_;
-  std::set<PickKey> pick_index_;  // Eligible reserved threads (runnable, budget > 0).
+  // Eligible reserved threads (runnable, budget > 0): a vector-backed binary
+  // min-heap with lazy deletion — allocation-free pushes, O(1) logical erase —
+  // instead of a node-based ordered set, because the farm transitions threads
+  // in and out of eligibility millions of times per second. `pick_live_` counts
+  // the current (non-stale) entries; CompactPickIndex() bounds the garbage.
+  std::vector<PickKey> pick_index_;
+  int64_t pick_live_ = 0;
+  // Current pick generation per slab slot (0 = not in the index): lets the heap's
+  // stale-entry test read one dense word instead of chasing the (cold) thread
+  // record's sched_slot on every pick. Unbound threads fall back to FindNode.
+  std::vector<uint64_t> pick_gen_by_slot_;
   std::priority_queue<DueEntry, std::vector<DueEntry>, std::greater<DueEntry>> due_;
   std::vector<DueEntry> due_now_;  // OnTick's reused due-batch buffer.
   // Secondary occupancy index for the round-robin fallback: how many runnable

@@ -42,20 +42,10 @@ int64_t TraceRecorder::Count(TraceKind kind, ThreadId thread) const {
   return n;
 }
 
-uint64_t TraceRecorder::Hash() const {
-  uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (i * 8)) & 0xff;
-      h *= 0x100000001b3ull;
-    }
-  };
+uint64_t TraceRecorder::HashScan() const {
+  uint64_t h = kFnvOffset;
   for (const TraceEvent& e : events_) {
-    mix(static_cast<uint64_t>(e.t.nanos()));
-    mix(static_cast<uint64_t>(e.kind));
-    mix(static_cast<uint64_t>(e.thread));
-    mix(static_cast<uint64_t>(e.arg0));
-    mix(static_cast<uint64_t>(e.arg1));
+    MixEvent(h, e);
   }
   return h;
 }

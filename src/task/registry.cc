@@ -7,36 +7,38 @@
 namespace realrate {
 
 SimThread* ThreadRegistry::Create(std::string name, std::unique_ptr<WorkModel> work) {
-  const auto id = static_cast<ThreadId>(threads_.size());
-  threads_.push_back(std::make_unique<SimThread>(id, std::move(name), std::move(work)));
-  SimThread* thread = threads_.back().get();
+  const auto id = static_cast<ThreadId>(raw_.size());
+  SimThread* thread = arena_.Create(id, std::move(name), std::move(work));
   raw_.push_back(thread);
   thread->work().Bind(thread);
+  if (use_slabs_) {
+    const int32_t slot = slabs_.Bind(thread);
+    RR_ENSURES(slot == id);  // Registry threads are never released: slot == id.
+  }
   return thread;
 }
 
 SimThread* ThreadRegistry::Find(ThreadId id) {
-  if (id < 0 || static_cast<size_t>(id) >= threads_.size()) {
+  if (id < 0 || static_cast<size_t>(id) >= raw_.size()) {
     return nullptr;
   }
-  return threads_[id].get();
+  return raw_[static_cast<size_t>(id)];
 }
 
 const SimThread* ThreadRegistry::Find(ThreadId id) const {
-  if (id < 0 || static_cast<size_t>(id) >= threads_.size()) {
+  if (id < 0 || static_cast<size_t>(id) >= raw_.size()) {
     return nullptr;
   }
-  return threads_[id].get();
+  return raw_[static_cast<size_t>(id)];
 }
 
 SimThread* ThreadRegistry::FindByName(const std::string& name) {
-  for (auto& t : threads_) {
+  for (SimThread* t : raw_) {
     if (t->name() == name) {
-      return t.get();
+      return t;
     }
   }
   return nullptr;
 }
-
 
 }  // namespace realrate

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "task/thread_slabs.h"
+
 namespace realrate {
 
 const char* ToString(ThreadState state) {
@@ -39,6 +41,70 @@ const char* ToString(ThreadClass cls) {
 SimThread::SimThread(ThreadId id, std::string name, std::unique_ptr<WorkModel> work)
     : id_(id), name_(std::move(name)), work_(std::move(work)) {
   RR_EXPECTS(work_ != nullptr);
+}
+
+// --- Hot-field setters: canonical write, then write-through to the slab columns ---
+
+void SimThread::set_state(ThreadState s) {
+  state_ = s;
+  if (slabs_ != nullptr) {
+    slabs_->MirrorState(slab_slot_, s);
+  }
+}
+
+void SimThread::set_thread_class(ThreadClass c) {
+  class_ = c;
+  if (slabs_ != nullptr) {
+    slabs_->MirrorClass(slab_slot_, c);
+  }
+}
+
+void SimThread::set_policy(SchedPolicy p) {
+  policy_ = p;
+  if (slabs_ != nullptr) {
+    slabs_->MirrorPolicy(slab_slot_, p);
+  }
+}
+
+void SimThread::set_importance(double w) {
+  RR_EXPECTS(w > 0);
+  importance_ = w;
+  if (slabs_ != nullptr) {
+    slabs_->MirrorImportance(slab_slot_, w);
+  }
+}
+
+void SimThread::set_cpu(CpuId core) {
+  RR_EXPECTS(core >= 0);
+  cpu_ = core;
+  if (slabs_ != nullptr) {
+    slabs_->MirrorCpu(slab_slot_, core);
+  }
+}
+
+void SimThread::SetReservation(Proportion proportion, Duration period) {
+  RR_EXPECTS(proportion.ppt() >= 0 && proportion.ppt() <= Proportion::kFull);
+  RR_EXPECTS(period.IsPositive());
+  proportion_ = proportion;
+  period_ = period;
+  if (slabs_ != nullptr) {
+    slabs_->MirrorReservation(slab_slot_, *this);
+  }
+}
+
+void SimThread::set_budget_remaining(Cycles c) {
+  budget_remaining_ = c;
+  if (slabs_ != nullptr) {
+    slabs_->MirrorBudget(slab_slot_, c);
+  }
+}
+
+void SimThread::set_period_start(TimePoint t) {
+  period_start_ = t;
+  if (slabs_ != nullptr) {
+    // Moving the period phase moves the deadline (and nothing else reservation-side).
+    slabs_->MirrorReservation(slab_slot_, *this);
+  }
 }
 
 }  // namespace realrate

@@ -35,6 +35,8 @@ enum class ThreadClass : uint8_t {
 
 const char* ToString(ThreadClass cls);
 
+class ThreadSlabs;
+
 // Scheduling policies recognised by the dispatcher layer.
 enum class SchedPolicy : uint8_t {
   kReservation,  // Under the RBS proportion/period policy.
@@ -52,8 +54,12 @@ class SimThread {
   const std::string& name() const { return name_; }
   WorkModel& work() { return *work_; }
 
+  // Hot-field setters (state, class, policy, importance, affinity, reservation,
+  // budget, period phase) write through to the bound slab columns, so they are
+  // defined out of line in thread.cc — every other accessor stays inline.
+
   ThreadState state() const { return state_; }
-  void set_state(ThreadState s) { state_ = s; }
+  void set_state(ThreadState s);
   // When the thread last became runnable (wake from block/sleep; origin at creation).
   // The deadline-miss check uses it to ignore threads that only wanted CPU for part of
   // the period.
@@ -64,44 +70,33 @@ class SimThread {
 
   // --- Classification / controller inputs ---
   ThreadClass thread_class() const { return class_; }
-  void set_thread_class(ThreadClass c) { class_ = c; }
+  void set_thread_class(ThreadClass c);
   SchedPolicy policy() const { return policy_; }
-  void set_policy(SchedPolicy p) { policy_ = p; }
+  void set_policy(SchedPolicy p);
   double importance() const { return importance_; }
-  void set_importance(double w) {
-    RR_EXPECTS(w > 0);
-    importance_ = w;
-  }
+  void set_importance(double w);
 
   // --- Core affinity (maintained by the Machine's placement/migration policy) ---
   // The core this thread dispatches on. A thread only ever runs on its assigned core;
   // the Machine moves it with Migrate(), never mid-dispatch.
   CpuId cpu() const { return cpu_; }
-  void set_cpu(CpuId core) {
-    RR_EXPECTS(core >= 0);
-    cpu_ = core;
-  }
+  void set_cpu(CpuId core);
 
   // --- Reservation attributes (actuated by the controller) ---
   Proportion proportion() const { return proportion_; }
   Duration period() const { return period_; }
-  void SetReservation(Proportion proportion, Duration period) {
-    RR_EXPECTS(proportion.ppt() >= 0 && proportion.ppt() <= Proportion::kFull);
-    RR_EXPECTS(period.IsPositive());
-    proportion_ = proportion;
-    period_ = period;
-  }
+  void SetReservation(Proportion proportion, Duration period);
 
   // --- Per-period budget bookkeeping (maintained by the RBS scheduler) ---
   Cycles budget_remaining() const { return budget_remaining_; }
-  void set_budget_remaining(Cycles c) { budget_remaining_ = c; }
+  void set_budget_remaining(Cycles c);
   // Budget the thread was entitled to at the start of the current period. Deadline
   // misses are judged against this snapshot, so a controller raising the proportion
   // mid-period does not retroactively create "misses".
   Cycles period_entitlement() const { return period_entitlement_; }
   void set_period_entitlement(Cycles c) { period_entitlement_ = c; }
   TimePoint period_start() const { return period_start_; }
-  void set_period_start(TimePoint t) { period_start_ = t; }
+  void set_period_start(TimePoint t);
   int64_t deadline_misses() const { return deadline_misses_; }
   void CountDeadlineMiss() { ++deadline_misses_; }
 
@@ -112,6 +107,13 @@ class SimThread {
   // one but the owning scheduler may interpret it. See RbsScheduler::Node.
   void* sched_slot() const { return sched_slot_; }
   void set_sched_slot(void* slot) { sched_slot_ = slot; }
+
+  // --- Hot-field slab binding (see task/thread_slabs.h) ---
+  // The slab this thread's hot fields are mirrored into (null when unbound) and its
+  // slot there. The slot is stable across migrations and other threads' lifecycle;
+  // consumers may cache it for the binding's lifetime.
+  ThreadSlabs* bound_slabs() const { return slabs_; }
+  int32_t slab_slot() const { return slab_slot_; }
 
   // --- Baseline-scheduler bookkeeping ---
   int priority() const { return priority_; }
@@ -158,9 +160,14 @@ class SimThread {
   double burst_ewma_cycles() const { return burst_ewma_; }
 
  private:
+  friend class ThreadSlabs;  // Maintains slabs_/slab_slot_ on Bind/Release.
+
   const ThreadId id_;
   const std::string name_;
   std::unique_ptr<WorkModel> work_;
+
+  ThreadSlabs* slabs_ = nullptr;
+  int32_t slab_slot_ = -1;
 
   ThreadState state_ = ThreadState::kRunnable;
   ThreadClass class_ = ThreadClass::kMiscellaneous;

@@ -93,6 +93,23 @@ TEST(GoldenTraceTest, ServerFarmHotPathModesAreTraceEquivalent) {
   EXPECT_EQ(eager.idle_suspensions, 0);  // The knob actually disables the machinery.
 }
 
+TEST(GoldenTraceTest, ServerFarmSlabModesAreTraceEquivalent) {
+  // The memory-layout tentpole guarantee, pinned at scenario level: the hot-field
+  // slab columns (plus the column sweeps and kAuto pick they enable) versus the
+  // pre-slab AoS build schedule the farm bit-identically — the slabs are a layout,
+  // not a policy.
+  ServerFarmParams params = FarmPinParams(4);
+  params.run_for = Duration::Millis(120);
+  const ServerFarmResult slabs_on = RunServerFarmScenario(params);
+
+  ServerFarmParams no_slabs = params;
+  no_slabs.thread_slabs = false;
+  const ServerFarmResult slabs_off = RunServerFarmScenario(no_slabs);
+  EXPECT_EQ(slabs_on.trace_hash, slabs_off.trace_hash);
+  EXPECT_EQ(slabs_on.total_dispatches, slabs_off.total_dispatches);
+  EXPECT_EQ(slabs_on.total_consumed_bytes, slabs_off.total_consumed_bytes);
+}
+
 TEST(GoldenTraceTest, ServerFarmControllerModesAreTraceEquivalent) {
   // The control-plane tentpole guarantee, pinned at scenario level: the staged
   // Sample→Estimate→Resolve→Actuate pipeline (with shadow asserts live) and the
