@@ -1,0 +1,144 @@
+// Parallel dispatch engine scaling: the server farm end to end, at 1 / 2 / 4 host
+// threads, across farm densities (128 / 512 / 1024 threads per core). Two claims,
+// one table:
+//
+//   1. Correctness is free to assert: every cell's trace hash must equal the
+//      host_threads = 1 reference run's hash for the same farm (RR_CHECK'd here,
+//      and reported as the trace_equal column) — the parallel engine is a wall-clock
+//      optimization, never a schedule change.
+//   2. Throughput: hog-dominated rounds pass the independence gate nearly every
+//      tick, so farm wall time should fall as host threads rise — near-linearly
+//      when the host actually has the cores. On starved CI runners (1-2 CPUs) the
+//      speedup column is noise; scripts/check_parallel_scale.py therefore gates it
+//      only when host_cpus >= 4 and gates trace equality unconditionally.
+//
+// The `PARALLEL_SCALE ...` line is machine-readable: scripts/check_parallel_scale.py
+// compares it against the committed BENCH_parallel_baseline.json in CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "exp/scenarios.h"
+#include "util/assert.h"
+#include "util/time.h"
+
+namespace realrate {
+namespace {
+
+constexpr int kCpus = 4;
+
+// A pure-hog farm: every thread advertises round-local work, so the independence
+// gate passes wall to wall and the table measures the engine, not the fallback.
+ServerFarmParams FarmAt(int threads_per_core, int host_threads) {
+  ServerFarmParams params;
+  params.num_cpus = kCpus;
+  params.num_pipelines = 0;
+  params.num_hogs = threads_per_core * kCpus;
+  params.host_threads = host_threads;
+  params.run_for = Duration::Millis(150);
+  return params;
+}
+
+struct Cell {
+  double wall_sec = 0.0;
+  uint64_t trace_hash = 0;
+  int64_t parallel_rounds = 0;
+};
+
+// Best-of-N wall time: host interference only ever adds wall time, so each cell's
+// min is its least-contaminated estimate. Trials interleave across host-thread
+// counts (the caller loops density-major), matching the other scaling benches.
+Cell Measure(int threads_per_core, int host_threads, int trials) {
+  Cell cell;
+  cell.wall_sec = 1e30;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto start = std::chrono::steady_clock::now();
+    const ServerFarmResult result = RunServerFarmScenario(FarmAt(threads_per_core,
+                                                                 host_threads));
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    cell.wall_sec = std::min(cell.wall_sec, wall);
+    if (trial == 0) {
+      cell.trace_hash = result.trace_hash;
+      cell.parallel_rounds = result.parallel_rounds;
+    } else {
+      // Determinism across trials too — a flaky hash would poison the baseline.
+      RR_CHECK(result.trace_hash == cell.trace_hash);
+    }
+  }
+  return cell;
+}
+
+void PrintParallelScale() {
+  const int host_cpus = static_cast<int>(std::thread::hardware_concurrency());
+  bench::PrintHeader(
+      "Server farm end to end (pure hogs, 4 simulated cores, 150 ms virtual)\n"
+      "wall seconds at 1 / 2 / 4 host threads; every cell's trace is RR_CHECK'd\n"
+      "equal to the single-threaded reference run's");
+  std::printf("  host cpus: %d%s\n\n", host_cpus,
+              host_cpus < kCpus ? "  (speedups below are starved; equality still binds)"
+                                : "");
+  std::printf("  %8s %10s %10s %10s %9s %9s %12s\n", "thr/core", "ht1 sec", "ht2 sec",
+              "ht4 sec", "x2", "x4", "trace_equal");
+
+  double wall1_512 = 0.0;
+  double wall2_512 = 0.0;
+  double wall4_512 = 0.0;
+  int64_t rounds_512 = 0;
+  bool all_equal = true;
+  for (const int threads_per_core : {128, 512, 1024}) {
+    const int trials = threads_per_core >= 1024 ? 2 : 3;
+    const Cell c1 = Measure(threads_per_core, 1, trials);
+    const Cell c2 = Measure(threads_per_core, 2, trials);
+    const Cell c4 = Measure(threads_per_core, 4, trials);
+    RR_CHECK(c1.parallel_rounds == 0);
+    RR_CHECK(c2.parallel_rounds > 0);
+    RR_CHECK(c4.parallel_rounds > 0);
+    const bool equal = c2.trace_hash == c1.trace_hash && c4.trace_hash == c1.trace_hash;
+    RR_CHECK(equal);
+    all_equal = all_equal && equal;
+    std::printf("  %8d %10.3f %10.3f %10.3f %8.2fx %8.2fx %12s\n", threads_per_core,
+                c1.wall_sec, c2.wall_sec, c4.wall_sec, c1.wall_sec / c2.wall_sec,
+                c1.wall_sec / c4.wall_sec, equal ? "yes" : "NO");
+    if (threads_per_core == 512) {
+      wall1_512 = c1.wall_sec;
+      wall2_512 = c2.wall_sec;
+      wall4_512 = c4.wall_sec;
+      rounds_512 = c2.parallel_rounds;
+    }
+  }
+
+  // Machine-readable line for scripts/check_parallel_scale.py (CI gate).
+  std::printf("\nPARALLEL_SCALE threads_per_core=512 host_cpus=%d wall_ht1=%.4f "
+              "wall_ht2=%.4f wall_ht4=%.4f speedup_ht2=%.3f speedup_ht4=%.3f "
+              "parallel_rounds=%lld trace_equal=%d\n\n",
+              host_cpus, wall1_512, wall2_512, wall4_512, wall1_512 / wall2_512,
+              wall1_512 / wall4_512, static_cast<long long>(rounds_512),
+              all_equal ? 1 : 0);
+}
+
+void BM_FarmRoundtrip(benchmark::State& state) {
+  const int host_threads = static_cast<int>(state.range(0));
+  ServerFarmParams params = FarmAt(/*threads_per_core=*/128, host_threads);
+  params.run_for = Duration::Millis(40);
+  for (auto _ : state) {
+    const ServerFarmResult result = RunServerFarmScenario(params);
+    benchmark::DoNotOptimize(result.trace_hash);
+  }
+  state.counters["host_threads"] = static_cast<double>(host_threads);
+}
+BENCHMARK(BM_FarmRoundtrip)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace realrate
+
+int main(int argc, char** argv) {
+  realrate::PrintParallelScale();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

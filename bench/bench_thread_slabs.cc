@@ -42,7 +42,10 @@ constexpr int kCores = 8;
 // `total` arena-allocated threads bound to slabs, laid out like the farm steady
 // state: reserved policy, ppt and periods cycled, cores round-robin, a quarter
 // blocked (still live — sweeps must skip by predicate, not by absence).
-struct SlabRig {
+// alignas pins the rig's stack placement: the sweep reads the column headers
+// through this object, and an unpinned frame makes measured throughput swing
+// ~30% with the parity of sizeof(ThreadSlabs) — layout luck, not layout cost.
+struct alignas(64) SlabRig {
   ThreadArena arena;
   ThreadSlabs slabs;
   std::vector<SimThread*> threads;

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""CI gate for the parallel dispatch engine.
+
+Runs bench_parallel_engine, parses its machine-readable `PARALLEL_SCALE ...`
+line, and fails when either:
+  - trace_equal != 1 — the 2- and 4-host-thread farm runs did not reproduce the
+    single-threaded reference trace bit for bit. This is gated UNCONDITIONALLY:
+    determinism does not depend on how many CPUs the runner has. (The bench also
+    RR_CHECKs this internally, so a divergence usually aborts before we get here;
+    the gate catches a build where asserts are compiled out.)
+  - the 4-host-thread end-to-end speedup at 512 threads/core fell below the bar,
+    gated ONLY when the host actually has >= 4 CPUs — on starved runners the
+    extra host threads just time-slice one core and the column is noise.
+
+With --equality-only the speedup and baseline comparisons are skipped entirely
+(the sanitizer legs run this: TSan serializes everything, so wall time is
+meaningless there, but trace equality must still hold).
+
+Refresh the baseline with:
+  scripts/check_parallel_scale.py BUILD_DIR --write-baseline
+"""
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = REPO / "BENCH_parallel_baseline.json"
+MIN_SPEEDUP_HT4 = 1.5   # The acceptance bar: >= 1.5x farm e2e at 4 host threads.
+MAX_REGRESSION = 2.0    # Wall-time keys may drift up to 2x across runner speeds.
+
+
+def run_bench(build_dir: pathlib.Path) -> dict:
+    bench = build_dir / "bench" / "bench_parallel_engine"
+    if not bench.exists():
+        sys.exit(f"error: {bench} not found — build bench_parallel_engine first")
+    out = subprocess.run([str(bench), "--benchmark_min_time=0.01s"],
+                         check=True, capture_output=True, text=True).stdout
+    match = re.search(r"^PARALLEL_SCALE (.*)$", out, re.M)
+    if not match:
+        sys.exit("error: bench output has no PARALLEL_SCALE line")
+    fields = dict(kv.split("=", 1) for kv in match.group(1).split())
+    return {k: float(v) for k, v in fields.items()}
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    build_dir = pathlib.Path(args[0]) if args else REPO / "build"
+    measured = run_bench(build_dir)
+    print(f"[check_parallel_scale] measured: {measured}")
+
+    failures = []
+    if measured["trace_equal"] != 1:
+        failures.append("trace_equal != 1: parallel runs diverged from the "
+                        "single-threaded reference trace")
+    if measured["parallel_rounds"] <= 0:
+        failures.append("parallel_rounds == 0: the engine never fanned a round out "
+                        "(gate regression? the equality above would be vacuous)")
+
+    if "--write-baseline" in sys.argv:
+        if failures:
+            for failure in failures:
+                print(f"[check_parallel_scale] FAIL: {failure}", file=sys.stderr)
+            return 1
+        BASELINE.write_text(json.dumps(measured, indent=2, sort_keys=True) + "\n")
+        print(f"[check_parallel_scale] wrote {BASELINE}")
+        return 0
+
+    if "--equality-only" not in sys.argv:
+        host_cpus = int(measured["host_cpus"])
+        if host_cpus >= 4:
+            if measured["speedup_ht4"] < MIN_SPEEDUP_HT4:
+                failures.append(
+                    f"speedup_ht4 = {measured['speedup_ht4']:.2f}x at 512 threads/core "
+                    f"is below the pinned {MIN_SPEEDUP_HT4}x bar (host has {host_cpus} "
+                    f"CPUs)")
+        else:
+            print(f"[check_parallel_scale] host has {host_cpus} CPUs (< 4): "
+                  "skipping the speedup gate, equality still binds")
+        if BASELINE.exists():
+            baseline = json.loads(BASELINE.read_text())
+            print(f"[check_parallel_scale] baseline: {baseline}")
+            floor = baseline["wall_ht1"] * MAX_REGRESSION
+            if measured["wall_ht1"] > floor:
+                failures.append(
+                    f"wall_ht1 = {measured['wall_ht1']:.3f}s is more than "
+                    f"{MAX_REGRESSION}x above the baseline {baseline['wall_ht1']:.3f}s "
+                    f"— the sequential engine itself regressed")
+
+    if failures:
+        for failure in failures:
+            print(f"[check_parallel_scale] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[check_parallel_scale] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -264,6 +264,10 @@ struct ServerFarmParams {
   // (production) vs the pre-slab SimThread pointer chase — bench_dispatch_scale's
   // A/B axis, and the golden slab-equivalence test's two sides.
   bool thread_slabs = true;
+  // Host OS threads driving the simulated cores (MachineConfig::host_threads).
+  // Any value produces the same trace hash — bench_parallel_engine's scaling axis
+  // and the 1-vs-N equivalence tests' knob.
+  int host_threads = 1;
 };
 
 struct ServerFarmResult {
@@ -276,6 +280,8 @@ struct ServerFarmResult {
   int64_t context_switches = 0;
   int64_t migrations = 0;
   int64_t idle_suspensions = 0;
+  // Tick rounds the parallel engine actually fanned out (0 at host_threads = 1).
+  int64_t parallel_rounds = 0;
   double aggregate_user_fraction = 0.0;
   int64_t total_consumed_bytes = 0;
   int64_t squish_events = 0;

@@ -26,6 +26,27 @@ Machine::Machine(Simulator& sim, std::vector<Scheduler*> schedulers, ThreadRegis
   }
   cycles_per_tick_ = sim_.cpu().DurationToCycles(config.dispatch_interval);
   RR_EXPECTS(cycles_per_tick_ > 0);
+  RR_EXPECTS(config.host_threads >= 1);
+  // One host thread per simulated core at most; a 1-core machine never forks.
+  const int host = std::min(config.host_threads, num_cpus());
+  if (host > 1) {
+    engine_ = std::make_unique<ParallelEngine>(host);
+    lanes_.resize(cores_.size());
+  }
+}
+
+int Machine::host_threads() const {
+  return engine_ != nullptr ? engine_->host_threads() : 1;
+}
+
+EventQueue::Callback Machine::TickCallback(CpuId core) {
+  // Under the parallel engine, core 0's clock drives the whole round; sibling cores
+  // keep their own callbacks, which fire only when RoundTick could not pop them
+  // (an interleaved same-timestamp event) — and then run the exact sequential tick.
+  if (engine_ != nullptr && core == 0) {
+    return [this] { RoundTick(); };
+  }
+  return [this, core] { Tick(core); };
 }
 
 void Machine::Start() {
@@ -34,7 +55,7 @@ void Machine::Start() {
   accounted_through_ = sim_.Now();
   for (CpuId c = 0; c < num_cpus(); ++c) {
     CoreAt(c).next_tick_event =
-        sim_.ScheduleAfter(config_.dispatch_interval, [this, c] { Tick(c); });
+        sim_.ScheduleAfter(config_.dispatch_interval, TickCallback(c));
   }
   if (num_cpus() > 1 && config_.rebalance_interval.IsPositive()) {
     sim_.ScheduleAfter(config_.rebalance_interval, [this] { Rebalance(); });
@@ -135,6 +156,8 @@ void Machine::ClearSleepGen(ThreadId id) {
 
 void Machine::Attach(SimThread* thread) {
   RR_EXPECTS(thread != nullptr);
+  RR_EXPECTS(!in_round_);  // Epoch contract: no attaches from inside a parallel round.
+  InvalidateRoundGate();
   ResumeTicking();  // A newly attached thread is runnable: the idle span is over.
   // Exclude the thread itself from the load census: it is typically already in the
   // registry (with a default core-0 affinity) by the time it is attached.
@@ -146,11 +169,17 @@ void Machine::Attach(SimThread* thread) {
 void Machine::Migrate(SimThread* thread, CpuId core) {
   RR_EXPECTS(thread != nullptr);
   RR_EXPECTS(core >= 0 && core < num_cpus());
+  // Epoch contract: migrations happen between rounds (the rebalancer and the
+  // controller both run as their own simulator events), never while per-core
+  // dispatch loops are in flight — a mid-round move would hand a thread to a core
+  // another host thread owns.
+  RR_EXPECTS(!in_round_);
   const CpuId from = thread->cpu();
   if (from == core) {
     return;
   }
   RR_EXPECTS(thread->state() != ThreadState::kRunning);
+  InvalidateRoundGate();
   // Settle catch-up before run-queue membership changes: the schedulers' bulk
   // OnTicksSkipped assumes a stable thread set across the skipped span.
   ResumeTicking();
@@ -198,6 +227,8 @@ void Machine::Wake(ThreadId thread_id) {
   if (thread == nullptr || thread->state() != ThreadState::kBlocked) {
     return;  // Spurious or stale wake.
   }
+  RR_EXPECTS(!in_round_);  // Gated rounds run only wake-free (round-local) work.
+  InvalidateRoundGate();
   ResumeTicking();  // Before the transition: catch-up must see the idle-span state.
   thread->set_state(ThreadState::kRunnable);
   thread->set_last_wake_time(sim_.Now());
@@ -209,6 +240,8 @@ void Machine::Wake(ThreadId thread_id) {
 void Machine::SleepUntil(SimThread* thread, TimePoint wake_at) {
   RR_EXPECTS(thread != nullptr);
   RR_EXPECTS(wake_at >= sim_.Now());
+  RR_EXPECTS(!in_round_);  // In-round throttle sleeps are staged (see ApplyRunResult).
+  InvalidateRoundGate();
   // Only a running/runnable thread can be put to sleep, so the machine cannot be
   // suspended here through the dispatch path — but a direct caller (tests) could add
   // a sleeper mid-suspension, which must re-arm the horizon. Resuming is the simple
@@ -226,6 +259,8 @@ void Machine::CancelSleep(SimThread* thread) {
   if (thread->state() != ThreadState::kSleeping) {
     return;
   }
+  RR_EXPECTS(!in_round_);
+  InvalidateRoundGate();
   ResumeTicking();
   ClearSleepGen(thread->id());  // The heap entry becomes stale.
   thread->set_state(ThreadState::kRunnable);
@@ -237,6 +272,7 @@ void Machine::CancelSleep(SimThread* thread) {
 
 void Machine::StealCycles(CpuUse category, Cycles cycles, CpuId core) {
   RR_EXPECTS(cycles >= 0);
+  RR_EXPECTS(!in_round_);  // Overhead charges land between rounds (timer, controller).
   if (config_.charge_overheads) {
     // The backlog must be absorbed by upcoming ticks, so a suspended machine resumes;
     // without backlog the charge is purely observational and needs no clock.
@@ -384,10 +420,14 @@ void Machine::WakeExpiredSleepers(TimePoint now) {
   if (!any_expired && config_.charge_overheads) {
     StealCycles(CpuUse::kTimer, cpu.config().timer_idle_cycles);
   }
+  if (any_expired) {
+    InvalidateRoundGate();  // The runnable set grew; re-evaluate before forking.
+  }
 }
 
-void Machine::Tick(CpuId core_id) {
-  const TimePoint now = sim_.Now();
+void Machine::Tick(CpuId core_id) { TickBody(core_id, sim_.Now()); }
+
+void Machine::TickBody(CpuId core_id, TimePoint now) {
   Core& core = CoreAt(core_id);
   ++core.ticks;
   core.round_had_pick = false;
@@ -396,6 +436,11 @@ void Machine::Tick(CpuId core_id) {
   if (core_id == 0) {
     WakeExpiredSleepers(now);
   }
+  TickRest(core_id, now);
+}
+
+void Machine::TickRest(CpuId core_id, TimePoint now) {
+  Core& core = CoreAt(core_id);
   core.scheduler->OnTick(now);
 
   // Capacity of this tick, minus overhead backlog carried over (controller runs,
@@ -417,7 +462,154 @@ void Machine::Tick(CpuId core_id) {
     return;
   }
   core.next_tick_event =
-      sim_.ScheduleAfter(config_.dispatch_interval, [this, core_id] { Tick(core_id); });
+      sim_.ScheduleAfter(config_.dispatch_interval, TickCallback(core_id));
+}
+
+bool Machine::RoundIsLocal(TimePoint now) {
+  if (gate_cached_epoch_ == gate_epoch_) {
+    return gate_cached_;
+  }
+  // Every runnable thread must be able to absorb a full tick with no side effects
+  // outside its own record (WorkModel::RoundLocalCycles' contract). Sweeping the
+  // state column (slot order) keeps the scan cache-friendly; the verdict is cached
+  // until the runnable set changes, so steady farm phases pay it once.
+  bool local = true;
+  if (UseColumns()) {
+    const int32_t n = slabs_->slot_count();
+    for (int32_t s = 0; s < n && local; ++s) {
+      if (slabs_->state(s) == ThreadState::kRunnable) {
+        SimThread* t = slabs_->thread_at(s);
+        local = t->work().RoundLocalCycles(now) >= cycles_per_tick_;
+      }
+    }
+  } else {
+    for (SimThread* t : registry_.All()) {
+      if (!t->HasExited() && t->state() == ThreadState::kRunnable &&
+          t->work().RoundLocalCycles(now) < cycles_per_tick_) {
+        local = false;
+        break;
+      }
+    }
+  }
+  gate_cached_epoch_ = gate_epoch_;
+  gate_cached_ = local;
+  return local;
+}
+
+void Machine::Emit(CpuId core, TimePoint t, TraceKind kind, ThreadId thread, int64_t arg0,
+                   int64_t arg1) {
+  if (in_round_) {
+    if (sim_.trace().enabled()) {
+      lanes_[static_cast<size_t>(core)].events.push_back(
+          TraceEvent{t, kind, thread, arg0, arg1});
+    }
+    return;
+  }
+  sim_.trace().Record(t, kind, thread, arg0, arg1);
+}
+
+void Machine::RoundTick() {
+  const TimePoint now = sim_.Now();
+  const int n = num_cpus();
+  // Claim the round: the sibling cores' tick events are contiguous at the queue
+  // head whenever no other event shares this timestamp (same-time events scheduled
+  // earlier carry smaller ids and fired before core 0's tick; events created from
+  // here on carry larger ids). Each successful pop consumes the event without
+  // running its callback — this round runs the tick instead.
+  int popped = 0;  // Cores 1..popped had their tick events claimed.
+  while (popped + 1 < n && sim_.PopExpected(CoreAt(popped + 1).next_tick_event, now)) {
+    ++popped;
+  }
+  if (popped + 1 < n || checker_ != nullptr) {
+    // Partial round (an interleaved same-timestamp event) or an installed invariant
+    // oracle: run the claimed ticks inline, in core order — the exact interleave the
+    // one-queue engine produces. Unclaimed cores' events fire on their own.
+    for (CpuId c = 0; c <= popped; ++c) {
+      TickBody(c, now);
+    }
+    return;
+  }
+
+  // Whole round in hand. The shared prologue is bit-identical to each core running
+  // its own (nothing reads the counters or accounted_through_ mid-round), and the
+  // timer service must precede the gate: expired sleepers grow the runnable set.
+  for (CpuId c = 0; c < n; ++c) {
+    Core& core = CoreAt(c);
+    ++core.ticks;
+    core.round_had_pick = false;
+  }
+  accounted_through_ = now;
+  WakeExpiredSleepers(now);
+
+  if (!RoundIsLocal(now)) {
+    for (CpuId c = 0; c < n; ++c) {
+      TickRest(c, now);
+    }
+    return;
+  }
+
+  // Parallel epoch. The schedulers' tick work stays on the coordinator — it is the
+  // one in-round path with cross-core effects (the replenisher's deadline-miss hook
+  // records to the trace and adjusts controller state) — with its records staged
+  // into each core's lane, exactly where the sequential engine would emit them.
+  TraceRecorder& trace = sim_.trace();
+  for (CpuId c = 0; c < n; ++c) {
+    Lane& lane = lanes_[static_cast<size_t>(c)];
+    lane.events.clear();
+    lane.sleeps.clear();
+    trace.SetStage(&lane.events);
+    CoreAt(c).scheduler->OnTick(now);
+  }
+  trace.SetStage(nullptr);
+
+  in_round_ = true;
+  if (slabs_ != nullptr) {
+    slabs_->set_shared_mode(true);  // Runnable-count bumps go RMW for the round.
+  }
+  engine_->RunRound(n, [this, now](int c) { RoundDispatch(static_cast<CpuId>(c), now); });
+  if (slabs_ != nullptr) {
+    slabs_->set_shared_mode(false);
+  }
+  in_round_ = false;
+  ++parallel_rounds_;
+
+  // Epoch barrier: drain the per-core lanes in ascending core order. The merged
+  // record stream and the throttle-sleeps' generation order reproduce the sequential
+  // engine's exactly (core 0's whole tick before core 1's).
+  for (CpuId c = 0; c < n; ++c) {
+    Lane& lane = lanes_[static_cast<size_t>(c)];
+    for (const TraceEvent& event : lane.events) {
+      trace.RecordEvent(event);
+    }
+    for (const Lane::StagedSleep& staged : lane.sleeps) {
+      const uint64_t gen = next_generation_++;
+      SetSleepGen(staged.thread->id(), gen);
+      PushSleeper(SleepEntry{staged.wake_at, gen, staged.thread->id()});
+    }
+  }
+
+  // Re-arm / suspend in the sequential engine's event-id order: cores 0..n-2 re-arm
+  // unconditionally; the last core decides idleness (Suspend cancels the fresh
+  // re-arms and arms the horizon, exactly as it would have sequentially).
+  for (CpuId c = 0; c < n - 1; ++c) {
+    CoreAt(c).next_tick_event =
+        sim_.ScheduleAfter(config_.dispatch_interval, TickCallback(c));
+  }
+  if (ShouldSuspend()) {
+    Suspend();
+    return;
+  }
+  CoreAt(n - 1).next_tick_event =
+      sim_.ScheduleAfter(config_.dispatch_interval, TickCallback(n - 1));
+}
+
+void Machine::RoundDispatch(CpuId core_id, TimePoint now) {
+  Core& core = CoreAt(core_id);
+  Cycles cycles_left = cycles_per_tick_;
+  const Cycles absorbed = std::min(core.stolen_backlog, cycles_left);
+  cycles_left -= absorbed;
+  core.stolen_backlog -= absorbed;
+  DispatchLoop(core, core_id, now, cycles_left);
 }
 
 bool Machine::ShouldSuspend() const {
@@ -600,7 +792,7 @@ void Machine::ResumeTicking() {
   AccountSkippedTicks(sim_.Now(), /*inclusive=*/false);
   const TimePoint first_tick = accounted_through_ + config_.dispatch_interval;
   for (CpuId c = 0; c < num_cpus(); ++c) {
-    CoreAt(c).next_tick_event = sim_.ScheduleAt(first_tick, [this, c] { Tick(c); });
+    CoreAt(c).next_tick_event = sim_.ScheduleAt(first_tick, TickCallback(c));
   }
 }
 
@@ -658,23 +850,28 @@ void Machine::DispatchLoop(Core& core, CpuId core_id, TimePoint now, Cycles cycl
     cpu.Charge(CpuUse::kUser, result.used);
     cycles_left -= result.used;
     core.scheduler->OnRan(pick, result.used, now);
-    sim_.trace().Record(now, TraceKind::kDispatch, pick->id(), result.used);
+    Emit(core_id, now, TraceKind::kDispatch, pick->id(), result.used);
 
-    ApplyRunResult(core, pick, result, now);
+    ApplyRunResult(core, core_id, pick, result, now);
   }
 }
 
-void Machine::ApplyRunResult(Core& core, SimThread* thread, const RunResult& result,
-                             TimePoint now) {
+void Machine::ApplyRunResult(Core& core, CpuId core_id, SimThread* thread,
+                             const RunResult& result, TimePoint now) {
+  // Inside a parallel round the independence gate guarantees every slice stays
+  // runnable (at most throttling afterwards) — anything else would be a cross-core
+  // effect emitted from a worker thread.
+  RR_CHECK(!in_round_ || result.next == RunResult::Next::kRunnable);
   switch (result.next) {
     case RunResult::Next::kRunnable:
       thread->set_state(ThreadState::kRunnable);
       break;
     case RunResult::Next::kBlocked:
+      InvalidateRoundGate();
       thread->set_state(ThreadState::kBlocked);
       thread->OnBurstEnd();  // Ran-before-blocking measurement for interactive jobs.
       core.scheduler->OnBlock(thread, now);
-      sim_.trace().Record(now, TraceKind::kBlock, thread->id(), result.block_tag);
+      Emit(core_id, now, TraceKind::kBlock, thread->id(), result.block_tag);
       return;  // Throttling is irrelevant once off the run queue.
     case RunResult::Next::kSleeping:
       thread->set_state(ThreadState::kRunnable);  // SleepUntil flips it to kSleeping.
@@ -682,9 +879,10 @@ void Machine::ApplyRunResult(Core& core, SimThread* thread, const RunResult& res
       SleepUntil(thread, std::max(result.wake_at, now));  // Notifies OnBlock itself.
       return;
     case RunResult::Next::kExited:
+      InvalidateRoundGate();
       thread->set_state(ThreadState::kExited);
       core.scheduler->RemoveThread(thread);
-      sim_.trace().Record(now, TraceKind::kExit, thread->id());
+      Emit(core_id, now, TraceKind::kExit, thread->id());
       if (core.last_ran == thread) {
         core.last_ran = nullptr;
       }
@@ -694,9 +892,22 @@ void Machine::ApplyRunResult(Core& core, SimThread* thread, const RunResult& res
   // Budget enforcement: "when a thread has used its allocation for its period, it is
   // put to sleep until its next period begins."
   if (const auto throttle_until = core.scheduler->ThrottleUntil(thread, now)) {
-    sim_.trace().Record(now, TraceKind::kBudgetExhausted, thread->id(),
-                        thread->cycles_this_period());
-    SleepUntil(thread, std::max(*throttle_until, now));  // Notifies OnBlock itself.
+    Emit(core_id, now, TraceKind::kBudgetExhausted, thread->id(),
+         thread->cycles_this_period());
+    const TimePoint wake_at = std::max(*throttle_until, now);
+    if (in_round_) {
+      // Staged sleep: the state flip and run-queue exit are core-local and happen
+      // now; the wheel insertion and generation assignment are cross-core state and
+      // happen at the barrier, in core order — the order the sequential engine
+      // issues generations in. (SleepUntil's ResumeTicking is a no-op here: the
+      // machine cannot be suspended while a round is dispatching.)
+      thread->set_state(ThreadState::kSleeping);
+      core.scheduler->OnBlock(thread, now);
+      lanes_[static_cast<size_t>(core_id)].sleeps.push_back(
+          Lane::StagedSleep{thread, wake_at});
+      return;
+    }
+    SleepUntil(thread, wake_at);  // Notifies OnBlock itself.
   }
 }
 

@@ -1,0 +1,74 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+ParallelEngine::ParallelEngine(int host_threads) : host_threads_(host_threads) {
+  RR_EXPECTS(host_threads >= 1);
+  workers_.reserve(static_cast<size_t>(host_threads - 1));
+  for (int p = 1; p < host_threads; ++p) {
+    workers_.emplace_back([this, p] { WorkerMain(p); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  stop_.store(true, std::memory_order_release);
+  round_seq_.fetch_add(1, std::memory_order_release);
+  round_seq_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ParallelEngine::RunRound(int num_items, const std::function<void(int)>& body) {
+  RR_EXPECTS(num_items >= 0);
+  const int participants = std::min(host_threads_, num_items);
+  if (participants <= 1) {
+    for (int i = 0; i < num_items; ++i) {
+      body(i);
+    }
+    return;
+  }
+  body_ = &body;
+  num_items_ = num_items;
+  pending_.store(host_threads_ - 1, std::memory_order_release);
+  round_seq_.fetch_add(1, std::memory_order_release);
+  round_seq_.notify_all();
+  // The coordinator is participant 0: it runs its strided share like any worker.
+  for (int i = 0; i < num_items; i += host_threads_) {
+    body(i);
+  }
+  // Join: every worker decrements pending_ once, even when its share was empty.
+  for (int p = pending_.load(std::memory_order_acquire); p != 0;
+       p = pending_.load(std::memory_order_acquire)) {
+    pending_.wait(p, std::memory_order_acquire);
+  }
+  body_ = nullptr;
+  ++rounds_run_;
+}
+
+void ParallelEngine::WorkerMain(int participant) {
+  uint64_t seen = 0;
+  for (;;) {
+    while (round_seq_.load(std::memory_order_acquire) == seen) {
+      round_seq_.wait(seen, std::memory_order_acquire);
+    }
+    seen = round_seq_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    const std::function<void(int)>& body = *body_;
+    const int n = num_items_;
+    for (int i = participant; i < n; i += host_threads_) {
+      body(i);
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pending_.notify_one();
+    }
+  }
+}
+
+}  // namespace realrate

@@ -1,0 +1,72 @@
+// ParallelEngine: the host-thread pool behind MachineConfig::host_threads — a
+// reusable fork/join primitive for running one deterministic "round" of per-core
+// work (the Machine's intra-tick dispatch loops) across N OS threads.
+//
+// Design (the Corey lesson from SNIPPETS.md applied to our own engine): workers
+// share nothing during a round. Each item index (a simulated core) is owned by
+// exactly one host thread for the round's duration; all cross-core effects are
+// staged into per-core lanes by the caller and merged at the barrier on the
+// coordinator thread, in fixed core order. The engine itself only provides the
+// fork (round_seq_ bump) and the join (pending_ countdown) — both single atomics
+// with C++20 atomic wait/notify, no mutexes, no per-item locks (Anderson's
+// spin-lock results caution against anything contended in the hot loop).
+//
+// Determinism contract: RunRound(n, body) calls body(i) exactly once for every
+// i in [0, n); the assignment of items to host threads is fixed (item i runs on
+// thread i % host_threads), but body must not depend on which host thread runs
+// it. The caller is responsible for body(i) touching only item-i-owned state.
+//
+// Thread-safety: RunRound must only be called from the thread that constructed
+// the engine (the simulator's event-loop thread). Between rounds the workers are
+// parked in atomic waits and touch nothing.
+#ifndef REALRATE_SIM_PARALLEL_H_
+#define REALRATE_SIM_PARALLEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace realrate {
+
+class ParallelEngine {
+ public:
+  // Spawns `host_threads - 1` workers (the caller's thread is the coordinator and
+  // runs its share of every round). host_threads == 1 degenerates to inline
+  // execution with no threads spawned.
+  explicit ParallelEngine(int host_threads);
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+  ~ParallelEngine();
+
+  int host_threads() const { return host_threads_; }
+  // Rounds that actually forked across threads (for tests/introspection).
+  int64_t rounds_run() const { return rounds_run_; }
+
+  // Runs body(0..num_items-1), each exactly once, returning after all complete
+  // (the join is a full barrier: every worker's writes happen-before the return).
+  // Runs inline when only one thread would participate.
+  void RunRound(int num_items, const std::function<void(int)>& body);
+
+ private:
+  void WorkerMain(int participant);
+
+  const int host_threads_;
+  std::vector<std::thread> workers_;
+
+  // Round handshake. Coordinator publishes {body_, num_items_} then bumps
+  // round_seq_ (release); workers acquire it, run their strided share, and count
+  // down pending_ (acq_rel); the coordinator's acquire load of pending_ == 0
+  // completes the join.
+  std::atomic<uint64_t> round_seq_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<bool> stop_{false};
+  const std::function<void(int)>* body_ = nullptr;
+  int num_items_ = 0;
+  int64_t rounds_run_ = 0;
+};
+
+}  // namespace realrate
+
+#endif  // REALRATE_SIM_PARALLEL_H_

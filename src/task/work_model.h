@@ -56,6 +56,16 @@ class WorkModel {
   // Notification that the thread was woken after blocking/sleeping.
   virtual void OnWake(TimePoint /*now*/) {}
 
+  // How many cycles, starting at `now`, this model can consume with NO side effects
+  // outside the owning thread — no queue/mutex/tty traffic, no blocking, no sleeping,
+  // no exiting: every Run over the span returns kRunnable and touches only the
+  // thread's own counters. The Machine's parallel engine runs a tick round across
+  // host threads only when every runnable thread answers at least a full tick
+  // (anything else falls back to the sequential reference path), so the conservative
+  // default of 0 is always safe. Models that are provably thread-local (the CPU hogs)
+  // override this to admit their rounds.
+  virtual Cycles RoundLocalCycles(TimePoint /*now*/) const { return 0; }
+
   // Called once by ThreadRegistry::Create to attach the owning thread. Work models use
   // it for wait registration (they need the thread id) and progress counters.
   void Bind(SimThread* self) { self_ = self; }

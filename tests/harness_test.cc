@@ -355,6 +355,28 @@ TEST(DifferentialRunnerTest, ShadowSchedulerAgreesOnOneHundredSeeds) {
   EXPECT_GT(total_checks, 10'000);  // The pin has teeth: tens of thousands of picks.
 }
 
+TEST(DifferentialRunnerTest, HostThreadsAreTraceInvariantOnOneHundredSeeds) {
+  // The parallel-engine pin: across 100 generated workloads — every scheduler-
+  // relevant bucket the generator produces, including the high-thread-count farms —
+  // the feedback machine fanned out over 2 host threads reproduces the
+  // single-threaded run exactly. Both sides run oracle-free: an installed checker
+  // pins the machine to the sequential path, which would make the comparison
+  // vacuous. The bounded run keeps 200 full-stack runs inside the suite budget.
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    const WorkloadSpec spec = GenerateWorkload(seed);
+    RunOptions base;
+    base.attach_oracle = false;
+    base.run_for_override = Duration::Millis(120);
+    RunOptions fanned = base;
+    fanned.host_threads = 2;
+    const RunOutcome one = RunWorkload(spec, base);
+    const RunOutcome two = RunWorkload(spec, fanned);
+    ASSERT_EQ(one.trace_hash, two.trace_hash) << "seed " << seed;
+    ASSERT_EQ(one.total_progress, two.total_progress) << "seed " << seed;
+    ASSERT_EQ(one.dispatches, two.dispatches) << "seed " << seed;
+  }
+}
+
 TEST(DifferentialRunnerTest, ShadowModeDoesNotPerturbTheSchedule) {
   // shadow_check must be a pure observer: the same spec with and without it produces
   // the identical trace (it shares the run with the invariant battery, so any

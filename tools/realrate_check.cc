@@ -8,7 +8,7 @@
 //
 // Usage:
 //   realrate_check [--iterations N] [--seed-base S] [--dump-dir DIR]
-//                  [--no-metamorphic] [--quiet]
+//                  [--no-metamorphic] [--host-threads N] [--quiet]
 //   realrate_check --seed S          # one seed, verbose (the repro mode)
 #include <cstdint>
 #include <cstdio>
@@ -28,13 +28,16 @@ struct Args {
   bool single = false;
   bool metamorphic = true;
   bool quiet = false;
+  // Widest host-thread count for the host-thread equivalence pass; 0 means "use
+  // the host's hardware concurrency" (SeedCheckOptions::equivalence_host_threads).
+  int64_t host_threads = 0;
   std::string dump_dir = ".";
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--iterations N] [--seed-base S] [--seed S] [--dump-dir DIR]\n"
-               "          [--no-metamorphic] [--quiet]\n",
+               "          [--no-metamorphic] [--host-threads N] [--quiet]\n",
                argv0);
 }
 
@@ -75,6 +78,11 @@ bool Parse(int argc, char** argv, Args& args) {
       }
       args.single_seed = value;
       args.single = true;
+    } else if (arg == "--host-threads") {
+      if (!next(value)) {
+        return false;
+      }
+      args.host_threads = static_cast<int64_t>(value);
     } else if (arg == "--dump-dir" && i + 1 < argc) {
       args.dump_dir = argv[++i];
     } else if (arg == "--no-metamorphic") {
@@ -88,6 +96,10 @@ bool Parse(int argc, char** argv, Args& args) {
   }
   if (args.iterations <= 0) {
     std::fprintf(stderr, "%s: --iterations must be positive\n", argv[0]);
+    return false;
+  }
+  if (args.host_threads < 0 || args.host_threads == 1) {
+    std::fprintf(stderr, "%s: --host-threads must be 0 (auto) or >= 2\n", argv[0]);
     return false;
   }
   return true;
@@ -138,6 +150,7 @@ int main(int argc, char** argv) {
   }
   realrate::SeedCheckOptions options;
   options.run_metamorphic = args.metamorphic;
+  options.equivalence_host_threads = static_cast<int>(args.host_threads);
 
   if (args.single) {
     const realrate::SeedReport report = realrate::CheckSeed(args.single_seed, options);
