@@ -76,8 +76,8 @@ def main() -> int:
                     f"is below the pinned {MIN_SPEEDUP_HT4}x bar (host has {host_cpus} "
                     f"CPUs)")
         else:
-            print(f"[check_parallel_scale] host has {host_cpus} CPUs (< 4): "
-                  "skipping the speedup gate, equality still binds")
+            print(f"[check_parallel_scale] SKIP: speedup gate (host has {host_cpus} "
+                  "CPUs < 4); trace equality still binds")
         if BASELINE.exists():
             baseline = json.loads(BASELINE.read_text())
             print(f"[check_parallel_scale] baseline: {baseline}")

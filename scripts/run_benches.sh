@@ -32,6 +32,7 @@ BENCHES=(
   bench_parallel_engine
   bench_smp_scale
   bench_thread_slabs
+  bench_web_farm
 )
 
 if [[ ! -x "${BUILD_DIR}/tools/bench_aggregate" ]]; then

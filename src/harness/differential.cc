@@ -17,16 +17,19 @@
 #include "workloads/misc_work.h"
 #include "workloads/producer_consumer.h"
 #include "workloads/server.h"
+#include "workloads/web_farm.h"
 
 namespace realrate {
 
 namespace {
 
 // Objects a built workload needs alive for the duration of the run but which no
-// registry owns: the interactive editors' ttys and their typing processes.
+// registry owns: the interactive editors' ttys and their typing processes, and the
+// open-loop web farms' streams/injectors/latency samples.
 struct WorkloadRuntime {
   std::vector<std::unique_ptr<TtyPort>> ttys;
   std::vector<std::unique_ptr<TypingProcess>> typists;
+  std::vector<std::unique_ptr<WebFarmInstance>> farms;
 };
 
 // Instantiates the spec's queues and threads into an already-built machine. When
@@ -156,6 +159,25 @@ void BuildWorkload(const WorkloadSpec& spec, ThreadRegistry& threads, QueueRegis
         TypingProcess::Config{.mean_think = e.mean_think,
                               .seed = DeriveSeed(spec.seed, 0x7777 + i)}));
     runtime.typists.back()->Start();
+  }
+
+  for (size_t i = 0; i < spec.open_loops.size(); ++i) {
+    const OpenLoopSpec& ol = spec.open_loops[i];
+    WebFarmBuild build;
+    build.tag = "web" + std::to_string(i);
+    build.num_workers = ol.num_workers;
+    build.num_acceptors = ol.num_acceptors;
+    build.accept_cycles = ol.accept_cycles;
+    build.listen_queue_bytes = ol.listen_queue_bytes;
+    build.worker_queue_bytes = ol.worker_queue_bytes;
+    build.clock_hz = spec.clock_hz;
+    build.priority = ol.priority;
+    build.tickets = ol.tickets;
+    // Always the spec's own horizon, never a per-run override: every metamorphic
+    // variant must replay the identical request stream.
+    build.records = GenerateRequests(ol.arrivals, spec.run_for);
+    runtime.farms.push_back(BuildWebFarm(build, machine.sim(), threads, queues, machine,
+                                         controller));
   }
 }
 
@@ -436,6 +458,10 @@ SeedReport CheckSeed(uint64_t seed, const SeedCheckOptions& options) {
     for (PipelineSpec& p : unpaced.pipelines) {
       p.paced = false;
     }
+    // Open-loop arrival streams are wall-clock sources too (requests land at fixed
+    // virtual times regardless of the clock), so they are excluded like paced
+    // producers rather than converted.
+    unpaced.open_loops.clear();
     RunOptions at1x;
     at1x.kind = SchedulerKind::kFixedPriority;
     at1x.num_cpus_override = 1;
@@ -489,6 +515,9 @@ SeedReport CheckSeed(uint64_t seed, const SeedCheckOptions& options) {
   {
     WorkloadSpec saturators = spec;
     saturators.pipelines.clear();
+    // Open-loop farms are queue-coupled like pipelines (and their offered load is a
+    // wall-clock constant, not a per-core saturator), so they are stripped too.
+    saturators.open_loops.clear();
     if (saturators.hogs.empty() && saturators.reservations.empty()) {
       saturators.hogs.push_back({1'000, 1.0, 5, 100});
       saturators.hogs.push_back({2'000, 2.0, 6, 200});
@@ -530,6 +559,9 @@ SeedReport CheckSeed(uint64_t seed, const SeedCheckOptions& options) {
       static_cast<int>(spec.hogs.size()) + static_cast<int>(spec.interactives.size());
   for (const PipelineSpec& p : spec.pipelines) {
     adaptive_threads += 1 + static_cast<int>(p.stages.size());  // Stages + consumer.
+  }
+  for (const OpenLoopSpec& ol : spec.open_loops) {
+    adaptive_threads += ol.num_workers + ol.num_acceptors;  // All real-rate.
   }
   const ControllerConfig controller_defaults;
   const double floor_sum =

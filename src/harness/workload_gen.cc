@@ -164,6 +164,77 @@ WorkloadSpec GenerateWorkload(uint64_t seed) {
     return spec;
   }
 
+  // Open-loop bucket (~1 seed in 12): a Flash-style web farm driven by a seeded
+  // arrival process (workloads/arrivals.h) at an offered load drawn from deep
+  // underload to 2.2x the farm's CPU capacity, so fuzzing covers the regimes the
+  // closed-loop buckets cannot express — sustained over-subscription, flash
+  // crowds, admission drops. A couple of hogs ride along so the metamorphic
+  // variants that strip wall-clock sources (clock scaling, core monotonicity)
+  // still have work to measure. All farm threads are adaptive (real-rate), so
+  // the fixed-reservation budget is untouched by construction.
+  if (rng.NextBool(0.08)) {
+    spec.num_cpus = 2 + static_cast<int>(rng.NextBounded(3));  // 2-4 cores.
+    spec.run_for = Duration::Millis(120 + static_cast<int64_t>(rng.NextBounded(130)));
+    OpenLoopSpec ol;
+    ol.num_workers = 2 + static_cast<int>(rng.NextBounded(5));  // 2-6.
+    ol.num_acceptors = 1;
+    ol.accept_cycles = 5'000 + static_cast<Cycles>(rng.NextBounded(15'000));
+    ol.arrivals.seed = DeriveSeed(seed, 0xA221);
+    ol.arrivals.service_cycles = 60'000 + static_cast<Cycles>(rng.NextBounded(240'000));
+    if (rng.NextBool(0.35)) {  // Heavy-tailed service demand.
+      ol.arrivals.service_alpha = 1.3 + rng.NextDouble() * 1.2;
+      ol.arrivals.max_service_cycles = ol.arrivals.service_cycles * 50;
+    }
+    ol.arrivals.request_bytes = 64 + static_cast<int64_t>(rng.NextBounded(192));
+    if (rng.NextBool(0.4)) {  // Heavy-tailed response sizes.
+      ol.arrivals.bytes_alpha = 1.2 + rng.NextDouble() * 1.3;
+    }
+    ol.arrivals.max_request_bytes = ol.arrivals.request_bytes * 16;
+    ol.worker_queue_bytes = ol.arrivals.max_request_bytes * 16;
+    ol.listen_queue_bytes = ol.arrivals.max_request_bytes * 64;
+    // Offered load as a ratio of the farm's saturation rate.
+    const double capacity_rps =
+        spec.num_cpus * spec.clock_hz /
+        (MeanServiceCycles(ol.arrivals) + static_cast<double>(ol.accept_cycles));
+    const double target_rps = (0.4 + rng.NextDouble() * 1.8) * capacity_rps;
+    if (rng.NextBool(0.4)) {  // Session churn instead of memoryless arrivals.
+      ol.arrivals.kind = ArrivalConfig::Kind::kParetoSessions;
+      ol.arrivals.session_alpha = 1.3 + rng.NextDouble() * 1.2;
+      ol.arrivals.session_min_requests = 2.0;
+      ol.arrivals.mean_think = Duration::Millis(2 + static_cast<int64_t>(rng.NextBounded(6)));
+      const double mean_session_requests = ol.arrivals.session_min_requests *
+                                           ol.arrivals.session_alpha /
+                                           (ol.arrivals.session_alpha - 1.0);
+      ol.arrivals.sessions_per_sec = target_rps / mean_session_requests;
+    } else {
+      ol.arrivals.requests_per_sec = target_rps;
+    }
+    if (rng.NextBool(0.5)) {  // Flash crowd: a 2-4x spike mid-run, then back to 1x.
+      const int64_t horizon_ms = spec.run_for.millis();
+      const auto t0_ms = static_cast<int64_t>(rng.NextBounded(
+          static_cast<uint64_t>(std::max<int64_t>(1, horizon_ms / 2))));
+      const int64_t width_ms =
+          horizon_ms / 5 + static_cast<int64_t>(rng.NextBounded(
+                               static_cast<uint64_t>(std::max<int64_t>(1, horizon_ms / 5))));
+      const double spike = 2.0 + rng.NextDouble() * 2.0;
+      ol.arrivals.load_curve.push_back({Duration::Millis(t0_ms), spike});
+      ol.arrivals.load_curve.push_back({Duration::Millis(t0_ms + width_ms), 1.0});
+    }
+    ol.priority = 3 + static_cast<int>(rng.NextBounded(5));
+    ol.tickets = 50 + static_cast<int64_t>(rng.NextBounded(250));
+    spec.open_loops.push_back(std::move(ol));
+    const int ol_hogs = 1 + static_cast<int>(rng.NextBounded(2));
+    for (int i = 0; i < ol_hogs; ++i) {
+      HogSpec h;
+      h.cycles_per_key = 500 + static_cast<Cycles>(rng.NextBounded(4'500));
+      h.importance = 1.0 + rng.NextDouble() * 7.0;
+      h.priority = 1 + static_cast<int>(rng.NextBounded(10));
+      h.tickets = 10 + static_cast<int64_t>(rng.NextBounded(390));
+      spec.hogs.push_back(h);
+    }
+    return spec;
+  }
+
   // Fixed-reservation budget: at most 45% of the machine, each reservation at most
   // 45% of one core. The controller's least-fixed-loaded-core admission then always
   // finds a core below 50%, so every generated reservation is admitted (see
@@ -284,6 +355,25 @@ std::string WorkloadSpec::ToString() const {
     const AperiodicSpec& a = aperiodics[i];
     std::snprintf(line, sizeof(line), "  aperiodic[%zu]: %dppt prio=%d tickets=%lld\n", i,
                   a.proportion.ppt(), a.priority, static_cast<long long>(a.tickets));
+    out += line;
+  }
+  for (size_t i = 0; i < open_loops.size(); ++i) {
+    const OpenLoopSpec& ol = open_loops[i];
+    const char* kind =
+        ol.arrivals.kind == ArrivalConfig::Kind::kPoisson ? "poisson" : "sessions";
+    const double rate = ol.arrivals.kind == ArrivalConfig::Kind::kPoisson
+                            ? ol.arrivals.requests_per_sec
+                            : ol.arrivals.sessions_per_sec;
+    std::snprintf(line, sizeof(line),
+                  "  open_loop[%zu]: %s rate=%.0f/s workers=%d acceptors=%d "
+                  "accept=%lldcyc service=%lldcyc(a=%.2f) bytes=%lld(a=%.2f) "
+                  "curve=%zu prio=%d tickets=%lld\n",
+                  i, kind, rate, ol.num_workers, ol.num_acceptors,
+                  static_cast<long long>(ol.accept_cycles),
+                  static_cast<long long>(ol.arrivals.service_cycles),
+                  ol.arrivals.service_alpha, static_cast<long long>(ol.arrivals.request_bytes),
+                  ol.arrivals.bytes_alpha, ol.arrivals.load_curve.size(), ol.priority,
+                  static_cast<long long>(ol.tickets));
     out += line;
   }
   for (size_t i = 0; i < interactives.size(); ++i) {

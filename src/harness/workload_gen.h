@@ -17,6 +17,7 @@
 
 #include "util/time.h"
 #include "util/types.h"
+#include "workloads/arrivals.h"
 #include "workloads/rate_schedule.h"
 
 namespace realrate {
@@ -95,6 +96,24 @@ struct InteractiveSpec {
   int64_t tickets = 0;
 };
 
+// An open-loop web farm (workloads/web_farm.h): a seeded arrival stream feeding a
+// listen queue, acceptor threads round-robin dispatching into per-worker queues,
+// workers registered real-rate. The arrival stream is wall-clock-driven (requests
+// come when the outside world sends them), so — like a paced pipeline — it is
+// excluded from the clock-scaling metamorphic variant. The stream is materialized
+// over [0, spec.run_for) regardless of any per-run horizon override, so every
+// metamorphic variant replays the identical request sequence.
+struct OpenLoopSpec {
+  ArrivalConfig arrivals;
+  int num_workers = 4;
+  int num_acceptors = 1;
+  Cycles accept_cycles = 10'000;
+  int64_t listen_queue_bytes = 0;
+  int64_t worker_queue_bytes = 0;
+  int priority = 0;
+  int64_t tickets = 0;
+};
+
 struct WorkloadSpec {
   uint64_t seed = 0;
   int num_cpus = 1;
@@ -105,6 +124,7 @@ struct WorkloadSpec {
   std::vector<ReservationSpec> reservations;
   std::vector<AperiodicSpec> aperiodics;
   std::vector<InteractiveSpec> interactives;
+  std::vector<OpenLoopSpec> open_loops;
 
   // Human-readable dump (the repro artifact realrate_check prints for a failing seed).
   std::string ToString() const;

@@ -75,6 +75,17 @@ double Rng::NextExponential(double mean) {
   return -mean * std::log(u);
 }
 
+double Rng::NextPareto(double xm, double alpha) {
+  RR_EXPECTS(xm > 0);
+  RR_EXPECTS(alpha > 0);
+  // Inversion on the survival function: xm * u^(-1/alpha) with u uniform in (0, 1].
+  double u = 1.0 - NextDouble();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return xm * std::pow(u, -1.0 / alpha);
+}
+
 double Rng::NextNormal(double mean, double stddev) {
   if (have_cached_normal_) {
     have_cached_normal_ = false;

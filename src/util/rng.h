@@ -22,6 +22,10 @@ class Rng {
   double NextDouble(double lo, double hi);
   // Exponential with the given mean (> 0). Used for Poisson arrival processes.
   double NextExponential(double mean);
+  // Pareto with scale xm (> 0) and shape alpha (> 0), via inversion: always >= xm,
+  // heavy-tailed (infinite variance for alpha <= 2, infinite mean for alpha <= 1).
+  // Used for session lengths and response-size distributions in open-loop workloads.
+  double NextPareto(double xm, double alpha);
   // Standard normal via Box-Muller, then scaled.
   double NextNormal(double mean, double stddev);
   // Bernoulli with probability p.

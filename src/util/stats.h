@@ -38,7 +38,12 @@ class RunningStats {
 // Batch percentile computation. Keeps all samples; fine at simulation scale.
 class SampleSet {
  public:
-  void Add(double x) { samples_.push_back(x); }
+  // Invalidates the sort memo: interleaving Add and Percentile re-sorts lazily,
+  // so percentiles always reflect every sample added so far.
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
   size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 

@@ -51,6 +51,39 @@ TEST(BoundedBufferTest, PopExactAllOrNothing) {
   EXPECT_TRUE(q.Empty());
 }
 
+TEST(BoundedBufferTest, ChangeEpochStrictlyIncreasesUnderPushStorm) {
+  // The controller's dirty-set sampler relies on every TryPush/TryPop/TryPopExact
+  // bumping change_epoch — including the FAILED ones, which mutate a saturation
+  // counter the controller observes. An open-loop push storm against a full queue
+  // is exactly the case where a "no fill change, skip the bump" shortcut would
+  // freeze the epoch and make the sampler skip a saturating queue.
+  BoundedBuffer q(0, "q", 64);
+  uint64_t last = q.change_epoch();
+  for (int i = 0; i < 200; ++i) {
+    q.TryPush(16);  // Fails once full; the epoch must advance regardless.
+    const uint64_t now = q.change_epoch();
+    EXPECT_GT(now, last) << "push #" << i;
+    EXPECT_EQ(now, last + 1) << "push #" << i;  // Exactly one bump per op.
+    last = now;
+  }
+  EXPECT_TRUE(q.Full());
+  EXPECT_GT(q.full_hits(), 0);
+  // Failed pops and failed exact pops on the way back down bump it too.
+  EXPECT_EQ(q.TryPop(16), 16);
+  EXPECT_EQ(q.change_epoch(), last + 1);
+  last = q.change_epoch();
+  EXPECT_FALSE(q.TryPopExact(64));  // More than the remaining fill: fails.
+  EXPECT_EQ(q.change_epoch(), last + 1);
+  last = q.change_epoch();
+  while (!q.Empty()) {
+    q.TryPop(16);
+    EXPECT_EQ(q.change_epoch(), last + 1);
+    last = q.change_epoch();
+  }
+  q.TryPop(16);  // Empty: fails, still bumps.
+  EXPECT_EQ(q.change_epoch(), last + 1);
+}
+
 TEST(BoundedBufferTest, PressureMetricMatchesFigure3) {
   BoundedBuffer q(0, "q", 100);
   EXPECT_DOUBLE_EQ(q.PressureMetric(), -0.5);  // Empty.

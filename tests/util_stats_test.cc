@@ -81,6 +81,45 @@ TEST(SampleSetTest, SingleSample) {
   EXPECT_DOUBLE_EQ(s.Percentile(100), 42.0);
 }
 
+TEST(SampleSetTest, BoundaryPercentilesAreExtremes) {
+  // p=0 and p=100 must be exactly min/max (rank 0 and rank n-1, no interpolation
+  // step beyond the array), regardless of insertion order.
+  SampleSet s;
+  for (double x : {7.0, -3.0, 99.5, 0.0, 12.25}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), -3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 99.5);
+}
+
+TEST(SampleSetTest, TwoSampleTailInterpolation) {
+  // With two samples the p99.9 rank is 0.999: a high percentile interpolates
+  // between them instead of snapping to the max.
+  SampleSet s;
+  s.Add(10.0);
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99.9), 10.0 + 0.999 * 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.1), 10.0 + 0.001 * 10.0);
+}
+
+TEST(SampleSetTest, AddAfterPercentileResorts) {
+  // Interleaving Add and Percentile must re-sort: the memoized sort is
+  // invalidated by every Add, so a new minimum shows up at p=0 and shifts the
+  // median. (Regression test: Add used to leave the stale memo in place, and
+  // percentiles silently ignored everything added after the first query.)
+  SampleSet s;
+  s.Add(30.0);
+  s.Add(10.0);
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 20.0);  // Sorts {10, 20, 30}.
+  s.Add(0.0);                          // Must invalidate the sorted memo.
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 15.0);  // {0, 10, 20, 30} -> (10+20)/2.
+  s.Add(40.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 20.0);  // {0, 10, 20, 30, 40}.
+}
+
 TEST(FitLineTest, ExactLine) {
   std::vector<double> xs;
   std::vector<double> ys;

@@ -10,6 +10,11 @@
 //   realrate_check [--iterations N] [--seed-base S] [--dump-dir DIR]
 //                  [--no-metamorphic] [--host-threads N] [--quiet]
 //   realrate_check --seed S          # one seed, verbose (the repro mode)
+//
+// Every numeric flag is validated strictly: negative values, garbage, overflow, and
+// out-of-range widths (--host-threads needs >= 2; omit the flag for the hardware
+// default) are usage errors with a non-zero exit, never silently reinterpreted.
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +36,7 @@ struct Args {
   // Widest host-thread count for the host-thread equivalence pass; 0 means "use
   // the host's hardware concurrency" (SeedCheckOptions::equivalence_host_threads).
   int64_t host_threads = 0;
+  bool host_threads_set = false;
   std::string dump_dir = ".";
 };
 
@@ -45,19 +51,28 @@ bool Parse(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     // A malformed number must fail loudly: silently running seed 0 instead of the
-    // one pasted from a CI log would "reproduce" the wrong scenario.
+    // one pasted from a CI log would "reproduce" the wrong scenario. strtoull alone
+    // is not enough — it wraps negative input ("-5" becomes 2^64-5) and clamps
+    // overflow with errno, so both are rejected explicitly.
     auto next = [&](uint64_t& out) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "%s: missing value for %s\n", argv[0], arg.c_str());
         return false;
       }
       const char* text = argv[++i];
-      char* end = nullptr;
-      out = std::strtoull(text, &end, 10);
-      if (end == text || *end != '\0') {
+      auto invalid = [&] {
         std::fprintf(stderr, "%s: invalid number '%s' for %s\n", argv[0], text,
                      arg.c_str());
         return false;
+      };
+      if (text[0] < '0' || text[0] > '9') {
+        return invalid();  // Signs, whitespace, empty: the flags take unsigned decimal.
+      }
+      errno = 0;
+      char* end = nullptr;
+      out = std::strtoull(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE) {
+        return invalid();
       }
       return true;
     };
@@ -83,6 +98,7 @@ bool Parse(int argc, char** argv, Args& args) {
         return false;
       }
       args.host_threads = static_cast<int64_t>(value);
+      args.host_threads_set = true;
     } else if (arg == "--dump-dir" && i + 1 < argc) {
       args.dump_dir = argv[++i];
     } else if (arg == "--no-metamorphic") {
@@ -98,8 +114,12 @@ bool Parse(int argc, char** argv, Args& args) {
     std::fprintf(stderr, "%s: --iterations must be positive\n", argv[0]);
     return false;
   }
-  if (args.host_threads < 0 || args.host_threads == 1) {
-    std::fprintf(stderr, "%s: --host-threads must be 0 (auto) or >= 2\n", argv[0]);
+  // 0 stays the internal "hardware concurrency" default, but only by omitting the
+  // flag: an explicit --host-threads 0 (or 1) asks for a fan-out width that cannot
+  // exercise the parallel engine, which is operator error, not a configuration.
+  if (args.host_threads_set && args.host_threads < 2) {
+    std::fprintf(stderr, "%s: --host-threads must be >= 2 (omit for the hardware default)\n",
+                 argv[0]);
     return false;
   }
   return true;
