@@ -23,6 +23,7 @@ BENCHES=(
   bench_ablation_squish
   bench_baseline_comparison
   bench_benefits_comparison
+  bench_cluster
   bench_controller_scale
   bench_dispatch_scale
   bench_fig5_controller_overhead

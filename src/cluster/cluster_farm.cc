@@ -1,0 +1,243 @@
+#include "cluster/cluster_farm.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "util/assert.h"
+
+namespace realrate {
+
+namespace {
+
+// FNV-1a fold of the per-machine hashes, for single-column comparisons.
+uint64_t FoldHashes(const std::vector<uint64_t>& hashes) {
+  uint64_t h = 14695981039346656037ull;
+  for (uint64_t mh : hashes) {
+    h ^= mh;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// The per-node stack, configured exactly as RunWebFarmScenario configures its
+// single machine — the M = 1 bit-equality pin depends on this being identical.
+SystemConfig NodeConfig(const WebFarmParams& params) {
+  SystemConfig config;
+  config.num_cpus = params.num_cpus;
+  config.cpu.clock_hz = params.clock_hz;
+  config.rbs = params.rbs;
+  config.controller = params.controller;
+  config.machine.idle_fast_forward = params.idle_fast_forward;
+  config.machine.host_threads = params.host_threads;
+  config.thread_slabs = params.thread_slabs;
+  return config;
+}
+
+WebFarmBuild NodeBuild(const WebFarmParams& params, std::vector<RequestRecord> records) {
+  WebFarmBuild build;
+  build.tag = "web";
+  build.num_workers = params.num_workers;
+  build.num_acceptors = params.num_acceptors;
+  build.accept_cycles = params.accept_cycles;
+  build.listen_queue_bytes = params.listen_queue_bytes;
+  build.worker_queue_bytes = params.worker_queue_bytes;
+  build.clock_hz = params.clock_hz;
+  build.records = std::move(records);
+  return build;
+}
+
+}  // namespace
+
+ClusterFarmResult RunClusterFarmScenario(const ClusterFarmParams& params) {
+  RR_EXPECTS(params.num_machines >= 1);
+  RR_EXPECTS(params.epoch.IsPositive());
+  RR_EXPECTS(params.farm.run_for.IsPositive());
+  RR_EXPECTS(params.rebalance_threshold >= 1.0);
+  RR_EXPECTS(params.rebalance_max_moves >= 0);
+
+  const int machines = params.num_machines;
+  const Duration horizon = params.farm.run_for;
+  const std::vector<RequestRecord> records =
+      params.farm.replay.empty() ? GenerateRequests(params.farm.arrivals, horizon)
+                                 : params.farm.replay;
+
+  ClusterConfig cluster_config;
+  cluster_config.num_machines = machines;
+  cluster_config.node = NodeConfig(params.farm);
+  cluster_config.epoch = params.epoch;
+  Cluster cluster(cluster_config);
+
+  // Oversized records clamp to the smallest queue, mirroring BuildWebFarm's
+  // injector, so the router's epoch injection obeys the TryPush contract too.
+  const int64_t clamp_bytes =
+      std::min(params.farm.listen_queue_bytes, params.farm.worker_queue_bytes);
+
+  std::vector<std::unique_ptr<WebFarmInstance>> farms;
+  for (int m = 0; m < machines; ++m) {
+    System& node = cluster.node(m);
+    node.sim().trace().SetEnabled(true);
+    node.sim().trace().SetHashOnly(true);
+    // The degenerate cluster routes everything to its one machine, so the whole
+    // stream goes to the node's own injector up front — the arrival events then
+    // chain through the simulator exactly as a bare RunWebFarmScenario's do,
+    // which is what keeps the M = 1 trace pin bit-exact. M > 1 injects
+    // epoch-by-epoch from the router below.
+    farms.push_back(BuildWebFarm(
+        NodeBuild(params.farm, machines == 1 ? records : std::vector<RequestRecord>{}),
+        node.sim(), node.threads(), node.queues(), node.machine(), &node.controller()));
+  }
+
+  FrontEndRouter router(params.router, machines);
+  std::vector<std::unique_ptr<RequestInjector>> epoch_injectors;
+  int64_t rebalanced = 0;
+  size_t next_record = 0;
+  int64_t epoch_index = 0;
+  // Rebalance cadence in whole epochs (rounded up); 0 = disabled.
+  const int64_t rebalance_every =
+      params.rebalance_interval.IsPositive()
+          ? std::max<int64_t>(1, (params.rebalance_interval + params.epoch -
+                                  Duration::Nanos(1)) /
+                                     params.epoch)
+          : 0;
+
+  cluster.SetEpochHook([&](TimePoint epoch_start) {
+    if (machines == 1) {
+      return;  // Identity routing, nothing to rebalance.
+    }
+
+    // --- Cross-machine rebalancer (before routing, so this boundary's router
+    // weights see the post-migration pressure) ---
+    if (rebalance_every > 0 && epoch_index > 0 && epoch_index % rebalance_every == 0) {
+      int donor = 0;
+      int recipient = 0;
+      for (int m = 1; m < machines; ++m) {
+        const size_t backlog = farms[static_cast<size_t>(m)]->listen.meta.size();
+        if (backlog > farms[static_cast<size_t>(donor)]->listen.meta.size()) {
+          donor = m;
+        }
+        if (backlog < farms[static_cast<size_t>(recipient)]->listen.meta.size()) {
+          recipient = m;
+        }
+      }
+      auto& from = farms[static_cast<size_t>(donor)]->listen;
+      auto& to = farms[static_cast<size_t>(recipient)]->listen;
+      int moves = 0;
+      // Migrate newest-arrived pending requests (the back of the donor's FIFO —
+      // untouched by its acceptors) until the backlogs level or the cap binds.
+      // Queued requests are whole pipeline units: nothing mid-service ever moves,
+      // and the migrated request keeps its original arrival stamp so end-to-end
+      // latency stays honest.
+      while (moves < params.rebalance_max_moves &&
+             from.meta.size() >
+                 static_cast<size_t>(params.rebalance_threshold *
+                                     static_cast<double>(to.meta.size() + 1)) &&
+             to.buffer->fill() + from.meta.back().bytes <= to.buffer->capacity()) {
+        const PendingRequest moved = from.meta.back();
+        from.meta.pop_back();
+        RR_CHECK(from.buffer->TryPopExact(moved.bytes));
+        RR_CHECK(to.buffer->TryPush(moved.bytes));
+        to.meta.push_back(moved);
+        ++moves;
+      }
+      rebalanced += moves;
+    }
+
+    // --- Router: assign this epoch's arrivals from fence-fresh signals ---
+    std::vector<MachineSignals> signals(static_cast<size_t>(machines));
+    for (int m = 0; m < machines; ++m) {
+      signals[static_cast<size_t>(m)] = {cluster.SpareSignal(m), cluster.PressureSignal(m)};
+    }
+    router.UpdateSignals(signals);
+
+    const Duration remaining = horizon - (epoch_start - TimePoint::Origin());
+    const Duration step = remaining < params.epoch ? remaining : params.epoch;
+    const Duration window_end = (epoch_start + step) - TimePoint::Origin();
+    std::vector<std::vector<RequestRecord>> batches(static_cast<size_t>(machines));
+    while (next_record < records.size() && records[next_record].arrival < window_end) {
+      batches[static_cast<size_t>(router.Route())].push_back(records[next_record]);
+      ++next_record;
+    }
+    for (int m = 0; m < machines; ++m) {
+      auto& batch = batches[static_cast<size_t>(m)];
+      if (batch.empty()) {
+        continue;
+      }
+      WebFarmInstance* farm = farms[static_cast<size_t>(m)].get();
+      epoch_injectors.push_back(std::make_unique<RequestInjector>(
+          cluster.node(m).sim(), std::move(batch),
+          [farm, clamp_bytes](const RequestRecord& rec) {
+            PendingRequest p;
+            p.arrival = rec.arrival;
+            p.bytes = std::clamp<int64_t>(rec.bytes, 1, clamp_bytes);
+            p.service_cycles = rec.service_cycles;
+            if (farm->listen.buffer->TryPush(p.bytes)) {
+              farm->listen.meta.push_back(p);
+            } else {
+              ++farm->listen_drops;
+            }
+          }));
+      epoch_injectors.back()->Start();
+    }
+    ++epoch_index;
+  });
+
+  cluster.Start();
+  cluster.RunFor(horizon);
+
+  ClusterFarmResult result;
+  result.num_machines = machines;
+  result.total_threads =
+      static_cast<int64_t>(machines) * (params.farm.num_acceptors + params.farm.num_workers);
+  result.offered = static_cast<int64_t>(records.size());
+  result.rebalanced = rebalanced;
+
+  SampleSet all_latencies;
+  int64_t max_served = 0;
+  for (int m = 0; m < machines; ++m) {
+    WebFarmInstance& farm = *farms[static_cast<size_t>(m)];
+    result.injected += farm.injector->injected();
+    result.listen_drops += farm.listen_drops;
+    result.accepted += farm.accepted();
+    result.dispatch_drops += farm.dispatch_drops();
+    const int64_t served = farm.served();
+    result.served += served;
+    result.served_per_machine.push_back(served);
+    max_served = std::max(max_served, served);
+    for (double s : farm.latencies.samples()) {
+      all_latencies.Add(s);
+    }
+    System& node = cluster.node(m);
+    result.epoch_fences += node.machine().epoch_fences();
+    result.machine_trace_hashes.push_back(node.sim().trace().Hash());
+  }
+  for (const auto& injector : epoch_injectors) {
+    result.injected += injector->injected();
+  }
+  result.routed_per_machine = router.routed();
+  result.cluster_hash = FoldHashes(result.machine_trace_hashes);
+
+  // All-drop configurations serve nothing; the percentile columns stay at their
+  // explicit zeros rather than touching the empty SampleSet (whose Percentile
+  // requires at least one sample).
+  if (!all_latencies.empty()) {
+    result.p50_ms = all_latencies.Percentile(50.0) * 1e3;
+    result.p99_ms = all_latencies.Percentile(99.0) * 1e3;
+    result.p999_ms = all_latencies.Percentile(99.9) * 1e3;
+    result.mean_ms = all_latencies.Mean() * 1e3;
+    result.max_ms = all_latencies.Percentile(100.0) * 1e3;
+  }
+  result.goodput_rps = static_cast<double>(result.served) / horizon.ToSeconds();
+  result.imbalance_ratio =
+      result.served > 0
+          ? static_cast<double>(max_served) /
+                (static_cast<double>(result.served) / static_cast<double>(machines))
+          : 1.0;
+  return result;
+}
+
+double ClusterFarmCapacityRps(const ClusterFarmParams& params) {
+  return static_cast<double>(params.num_machines) * WebFarmCapacityRps(params.farm);
+}
+
+}  // namespace realrate

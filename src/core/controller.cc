@@ -22,6 +22,7 @@ FeedbackAllocator::FeedbackAllocator(Machine& machine, RbsScheduler& rbs, QueueR
       core_grants_(static_cast<size_t>(machine.num_cpus())) {
   RR_EXPECTS(config.interval.IsPositive());
   RR_EXPECTS(config.overload_threshold > 0 && config.overload_threshold <= 1.0);
+  ledger_.SetThresholdPpt(Proportion::FromFraction(overload_threshold_).ppt());
   slabs_ = machine_.registry().slabs();
   WireScheduler(rbs_);
   // Keep the ledger registered with where each fixed reservation's proportion is
@@ -880,6 +881,10 @@ void FeedbackAllocator::OnDeadlineMiss(SimThread* thread, Cycles shortfall, Time
     // the amount of spare capacity by reducing the admission threshold."
     overload_threshold_ =
         std::max(config_.min_overload_threshold, overload_threshold_ - config_.admission_backoff);
+    // Keep the ledger's spare aggregate defined against the post-backoff ceiling:
+    // the cluster router reads head-room through the ledger, and routing new load
+    // at a machine that is shedding admissions would fight the backoff.
+    ledger_.SetThresholdPpt(Proportion::FromFraction(overload_threshold_).ppt());
   }
 }
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster_farm.h"
 #include "exp/system.h"
 #include "queue/registry.h"
 #include "queue/tty.h"
@@ -297,6 +298,91 @@ std::string Label(const char* what, SchedulerKind kind) {
   return std::string(what) + " [" + ToString(kind) + "]";
 }
 
+// Maps a cluster-bucket spec onto the cluster scenario runner's parameters: the
+// spec's machine shape becomes one node, open_loops[0] the cluster-wide stream.
+ClusterFarmParams ClusterParamsFromSpec(const WorkloadSpec& spec) {
+  RR_EXPECTS(!spec.open_loops.empty());
+  const OpenLoopSpec& ol = spec.open_loops.front();
+  ClusterFarmParams params;
+  params.num_machines = spec.cluster.num_machines;
+  params.farm.num_cpus = spec.num_cpus;
+  params.farm.clock_hz = spec.clock_hz;
+  params.farm.run_for = spec.run_for;
+  params.farm.num_workers = ol.num_workers;
+  params.farm.num_acceptors = ol.num_acceptors;
+  params.farm.accept_cycles = ol.accept_cycles;
+  params.farm.listen_queue_bytes = ol.listen_queue_bytes;
+  params.farm.worker_queue_bytes = ol.worker_queue_bytes;
+  params.farm.arrivals = ol.arrivals;
+  params.epoch = spec.cluster.epoch;
+  params.router.policy = spec.cluster.feedback_router ? RouterPolicy::kFeedback
+                                                      : RouterPolicy::kRoundRobin;
+  params.router.pressure_damping = spec.cluster.pressure_damping;
+  params.rebalance_interval = spec.cluster.rebalance_interval;
+  params.rebalance_threshold = spec.cluster.rebalance_threshold;
+  params.rebalance_max_moves = spec.cluster.rebalance_max_moves;
+  return params;
+}
+
+// The differential battery for cluster-bucket specs. The scheduler battery does
+// not apply (a cluster is M independent machines behind a router, not one
+// machine under interchangeable schedulers); what must hold instead is the
+// cluster determinism contract.
+void CheckClusterSeed(const WorkloadSpec& spec, SeedReport& report) {
+  const ClusterFarmParams params = ClusterParamsFromSpec(spec);
+
+  // (a) Degenerate-cluster equivalence: M = 1 must be bit-identical to a bare
+  // machine running the identical farm — the cluster layer may add nothing but
+  // epoch fences (which settle without trace effects) around a single node.
+  {
+    ClusterFarmParams one = params;
+    one.num_machines = 1;
+    const ClusterFarmResult c = RunClusterFarmScenario(one);
+    const WebFarmResult bare = RunWebFarmScenario(one.farm);
+    if (c.machine_trace_hashes.size() != 1 ||
+        c.machine_trace_hashes[0] != bare.trace_hash || c.served != bare.served ||
+        c.accepted != bare.accepted || c.injected != bare.injected) {
+      report.failures.push_back(
+          "cluster M=1 equivalence: degenerate cluster diverged from the bare machine "
+          "(hash " +
+          std::to_string(c.machine_trace_hashes.empty() ? 0 : c.machine_trace_hashes[0]) +
+          " vs " + std::to_string(bare.trace_hash) + ", served " +
+          std::to_string(c.served) + " vs " + std::to_string(bare.served) + ")");
+    }
+  }
+
+  // (b) Host-thread invariance at the drawn width: fanning each node's dispatch
+  // rounds over 4 OS threads must leave every per-machine trace hash (and the
+  // routed/served outcome) bit-identical.
+  const ClusterFarmResult base = RunClusterFarmScenario(params);
+  {
+    ClusterFarmParams fanned = params;
+    fanned.farm.host_threads = 4;
+    const ClusterFarmResult wide = RunClusterFarmScenario(fanned);
+    if (wide.machine_trace_hashes != base.machine_trace_hashes ||
+        wide.served != base.served || wide.rebalanced != base.rebalanced) {
+      report.failures.push_back(
+          "cluster host-thread equivalence: host_threads 1 and 4 diverged (cluster hash " +
+          std::to_string(base.cluster_hash) + " vs " + std::to_string(wide.cluster_hash) +
+          ", served " + std::to_string(base.served) + " vs " +
+          std::to_string(wide.served) + ")");
+    }
+  }
+
+  // (c) Rerun stability: the scenario is a pure function of its parameters.
+  {
+    const ClusterFarmResult again = RunClusterFarmScenario(params);
+    if (again.cluster_hash != base.cluster_hash || again.served != base.served ||
+        again.rebalanced != base.rebalanced) {
+      report.failures.push_back(
+          "cluster rerun stability: identical parameters produced different runs "
+          "(cluster hash " +
+          std::to_string(base.cluster_hash) + " vs " + std::to_string(again.cluster_hash) +
+          ")");
+    }
+  }
+}
+
 }  // namespace
 
 SeedReport CheckSeed(uint64_t seed, const SeedCheckOptions& options) {
@@ -304,6 +390,11 @@ SeedReport CheckSeed(uint64_t seed, const SeedCheckOptions& options) {
   report.seed = seed;
   report.spec = GenerateWorkload(seed);
   const WorkloadSpec& spec = report.spec;
+
+  if (spec.cluster.num_machines > 0) {
+    CheckClusterSeed(spec, report);
+    return report;
+  }
 
   auto note_violations = [&](const RunOutcome& outcome, const std::string& label) {
     if (outcome.violation_count == 0) {

@@ -82,6 +82,51 @@ WorkloadSpec GenerateWorkload(uint64_t seed) {
   spec.clock_hz = 400e6;
   spec.run_for = Duration::Millis(300 + static_cast<int64_t>(rng.NextBounded(500)));
 
+  // Cluster bucket (~1 seed in 16): one cluster-wide open-loop request stream
+  // routed across 2-4 small machines by the front-end router (src/cluster), at
+  // an offered load from deep underload to 1.6x the whole cluster's capacity.
+  // Half the seeds also run the cross-machine rebalancer, and a quarter fall
+  // back to the round-robin router baseline. These specs take the cluster
+  // differential battery (harness/differential.cc): M=1 pinned bit-identical to
+  // a bare machine, per-machine trace hashes invariant across host-thread
+  // widths, and rerun stability.
+  if (rng.NextBool(0.0625)) {
+    spec.num_cpus = 2 + static_cast<int>(rng.NextBounded(2));  // Cores per NODE.
+    spec.run_for = Duration::Millis(120 + static_cast<int64_t>(rng.NextBounded(130)));
+    spec.cluster.num_machines = 2 + static_cast<int>(rng.NextBounded(3));  // 2-4.
+    spec.cluster.epoch = Duration::Millis(5 + static_cast<int64_t>(rng.NextBounded(10)));
+    spec.cluster.feedback_router = !rng.NextBool(0.25);
+    spec.cluster.pressure_damping = rng.NextDouble() * 0.9;
+    if (rng.NextBool(0.5)) {
+      spec.cluster.rebalance_interval =
+          Duration::Millis(20 + static_cast<int64_t>(rng.NextBounded(80)));
+      spec.cluster.rebalance_threshold = 1.2 + rng.NextDouble();
+      spec.cluster.rebalance_max_moves = 16 + static_cast<int>(rng.NextBounded(48));
+    }
+    OpenLoopSpec ol;
+    ol.num_workers = 2 + static_cast<int>(rng.NextBounded(4));  // Per node.
+    ol.num_acceptors = 1;
+    ol.accept_cycles = 5'000 + static_cast<Cycles>(rng.NextBounded(15'000));
+    ol.arrivals.seed = DeriveSeed(seed, 0xC105);
+    ol.arrivals.service_cycles = 60'000 + static_cast<Cycles>(rng.NextBounded(180'000));
+    if (rng.NextBool(0.3)) {  // Heavy-tailed service demand.
+      ol.arrivals.service_alpha = 1.3 + rng.NextDouble() * 1.2;
+      ol.arrivals.max_service_cycles = ol.arrivals.service_cycles * 50;
+    }
+    ol.arrivals.request_bytes = 64 + static_cast<int64_t>(rng.NextBounded(192));
+    ol.arrivals.max_request_bytes = ol.arrivals.request_bytes * 16;
+    ol.worker_queue_bytes = ol.arrivals.max_request_bytes * 16;
+    ol.listen_queue_bytes = ol.arrivals.max_request_bytes * 64;
+    // Offered load as a ratio of the CLUSTER's saturation rate.
+    const double node_capacity_rps =
+        spec.num_cpus * spec.clock_hz /
+        (MeanServiceCycles(ol.arrivals) + static_cast<double>(ol.accept_cycles));
+    ol.arrivals.requests_per_sec =
+        (0.3 + rng.NextDouble() * 1.3) * spec.cluster.num_machines * node_capacity_rps;
+    spec.open_loops.push_back(std::move(ol));
+    return spec;
+  }
+
   // High-thread-count bucket (~1 seed in 10): a server-farm style machine with 512+
   // threads of short two-stage pipelines, so fuzzing exercises the indexed dispatch
   // path (many reserved threads, diverse period ranks) at scale. Short horizon keeps
@@ -317,6 +362,17 @@ std::string WorkloadSpec::ToString() const {
                 static_cast<unsigned long long>(seed), num_cpus, clock_hz / 1e6,
                 static_cast<long long>(run_for.millis()));
   out += line;
+  if (cluster.num_machines > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  cluster: machines=%d epoch=%lldms router=%s damping=%.2f "
+                  "rebalance=%lldms/%.2fx/max%d\n",
+                  cluster.num_machines, static_cast<long long>(cluster.epoch.millis()),
+                  cluster.feedback_router ? "feedback" : "round-robin",
+                  cluster.pressure_damping,
+                  static_cast<long long>(cluster.rebalance_interval.millis()),
+                  cluster.rebalance_threshold, cluster.rebalance_max_moves);
+    out += line;
+  }
   for (size_t i = 0; i < pipelines.size(); ++i) {
     const PipelineSpec& p = pipelines[i];
     std::snprintf(line, sizeof(line),

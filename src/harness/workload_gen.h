@@ -114,6 +114,22 @@ struct OpenLoopSpec {
   int64_t tickets = 0;
 };
 
+// A cluster scenario (src/cluster): `open_loops[0]` describes one cluster-wide
+// arrival stream and the per-node farm shape; `num_machines` nodes of
+// `WorkloadSpec::num_cpus` cores each run it behind the front-end router. Specs
+// with num_machines > 0 take the cluster differential battery (M=1 pinned
+// bit-identical to a bare machine, per-machine trace hashes invariant across
+// host-thread widths, rerun stability) instead of the scheduler battery.
+struct ClusterSpec {
+  int num_machines = 0;  // 0 = not a cluster scenario (the default).
+  Duration epoch = Duration::Millis(10);
+  bool feedback_router = true;  // false = round-robin baseline.
+  double pressure_damping = 0.5;
+  Duration rebalance_interval = Duration::Zero();  // Zero disables.
+  double rebalance_threshold = 2.0;
+  int rebalance_max_moves = 64;
+};
+
 struct WorkloadSpec {
   uint64_t seed = 0;
   int num_cpus = 1;
@@ -125,6 +141,7 @@ struct WorkloadSpec {
   std::vector<AperiodicSpec> aperiodics;
   std::vector<InteractiveSpec> interactives;
   std::vector<OpenLoopSpec> open_loops;
+  ClusterSpec cluster;
 
   // Human-readable dump (the repro artifact realrate_check prints for a failing seed).
   std::string ToString() const;

@@ -21,7 +21,7 @@ bool BoundedBuffer::TryPush(int64_t bytes) {
     ++full_hits_;
     return false;
   }
-  fill_ += bytes;
+  ApplyFillDelta(bytes);
   total_pushed_ += bytes;
   WakeAll(waiting_consumers_);
   RR_ENSURES(fill_ <= capacity_);
@@ -36,7 +36,7 @@ int64_t BoundedBuffer::TryPop(int64_t bytes) {
     ++empty_hits_;
     return 0;
   }
-  fill_ -= n;
+  ApplyFillDelta(-n);
   total_popped_ += n;
   WakeAll(waiting_producers_);
   RR_ENSURES(fill_ >= 0);
@@ -53,7 +53,7 @@ bool BoundedBuffer::TryPopExact(int64_t bytes) {
     ++empty_hits_;
     return false;
   }
-  fill_ -= bytes;
+  ApplyFillDelta(-bytes);
   total_popped_ += bytes;
   WakeAll(waiting_producers_);
   return true;

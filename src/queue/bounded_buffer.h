@@ -39,6 +39,16 @@ class BoundedBuffer {
   // Installed by the machine so queue state changes can wake blocked threads.
   void SetWakeFn(WakeFn fn) { wake_fn_ = std::move(fn); }
 
+  // Installed by the owning registry: every fill-level change is mirrored into
+  // *aggregate as a delta, giving the registry a machine-wide fill sum that is O(1)
+  // to read (the cluster router's queue-pressure signal) without a per-read sweep.
+  void SetFillAggregate(int64_t* aggregate) {
+    fill_aggregate_ = aggregate;
+    if (fill_aggregate_ != nullptr) {
+      *fill_aggregate_ += fill_;
+    }
+  }
+
   // Attempts to append `bytes` (0 < bytes <= capacity; an item that exceeds the whole
   // queue could never fit and would livelock a producer waiting for space, so it is a
   // contract violation). Returns false (and changes nothing) if it doesn't fit right
@@ -81,6 +91,12 @@ class BoundedBuffer {
 
  private:
   void WakeAll(std::vector<ThreadId>& waiters);
+  void ApplyFillDelta(int64_t delta) {
+    fill_ += delta;
+    if (fill_aggregate_ != nullptr) {
+      *fill_aggregate_ += delta;
+    }
+  }
 
   const QueueId id_;
   const std::string name_;
@@ -91,6 +107,7 @@ class BoundedBuffer {
   int64_t full_hits_ = 0;
   int64_t empty_hits_ = 0;
   uint64_t change_epoch_ = 0;
+  int64_t* fill_aggregate_ = nullptr;
   WakeFn wake_fn_;
   std::vector<ThreadId> waiting_producers_;
   std::vector<ThreadId> waiting_consumers_;

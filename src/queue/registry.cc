@@ -10,6 +10,8 @@ BoundedBuffer* QueueRegistry::CreateQueue(std::string name, int64_t capacity_byt
   const auto id = static_cast<QueueId>(queues_.size());
   queues_.push_back(std::make_unique<BoundedBuffer>(id, std::move(name), capacity_bytes));
   raw_queues_.push_back(queues_.back().get());
+  total_capacity_bytes_ += capacity_bytes;
+  queues_.back()->SetFillAggregate(&total_fill_bytes_);
   return queues_.back().get();
 }
 

@@ -14,6 +14,7 @@
 //   core      — the feedback proportion allocator (the paper's contribution)
 //   workloads — producer/consumer, hogs, servers, interactive jobs
 //   exp       — wired System, Sampler, and the paper's experiment scenarios
+//   cluster   — M machines, front-end feedback router, cross-machine rebalancer
 //   harness   — invariant oracle, seeded workload generator, differential runner
 //
 // Ownership: a System (exp/system.h) owns one machine's worth of everything; when
@@ -28,6 +29,9 @@
 #ifndef REALRATE_REALRATE_H_
 #define REALRATE_REALRATE_H_
 
+#include "cluster/cluster.h"
+#include "cluster/cluster_farm.h"
+#include "cluster/router.h"
 #include "core/controller.h"
 #include "core/overload.h"
 #include "core/period_estimator.h"

@@ -303,6 +303,15 @@ void Machine::SyncSkippedTicks(TimePoint now) {
   }
 }
 
+void Machine::EpochFence(TimePoint now) {
+  // Cross-machine mutation is only legal between dispatch rounds; a fence from
+  // inside a fanned-out round would let another machine observe (or mutate) state
+  // mid-round, breaking the share-nothing round contract.
+  RR_EXPECTS(!in_round_);
+  SyncSkippedTicks(now);
+  ++epoch_fences_;
+}
+
 int64_t Machine::dispatches() const {
   int64_t total = 0;
   for (const Core& c : cores_) {

@@ -186,6 +186,16 @@ class Machine {
   // No-op unless suspended. Does not resume the dispatch clocks.
   void SyncSkippedTicks(TimePoint now);
 
+  // Cluster epoch fence: asserts the machine is quiescent for cross-machine
+  // mutation (no parallel dispatch round in flight) and settles idle-fast-forward
+  // catch-up at `now`, so the cluster layer's epoch-boundary reads (ledger spare,
+  // queue pressure) and migrations observe exactly the state a continuously
+  // ticking machine would show. The cluster rebalancer must call this before
+  // touching any cross-machine state — the same epoch contract the parallel
+  // engine enforces within one machine, one level up.
+  void EpochFence(TimePoint now);
+  int64_t epoch_fences() const { return epoch_fences_; }
+
   // --- Placement / migration (the SMP policy surface) ---
   // The core Attach would place a new thread on right now: smallest reserved
   // proportion, ties broken by fewest attached threads, then lowest core id.
@@ -373,6 +383,7 @@ class Machine {
   bool suspended_ = false;
   EventId horizon_event_ = kInvalidEventId;
   int64_t idle_suspensions_ = 0;
+  int64_t epoch_fences_ = 0;
 
   int64_t migrations_ = 0;
   bool started_ = false;

@@ -47,6 +47,11 @@ class SampleSet {
   size_t size() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
+  // Raw samples, in unspecified order (the sort memo may or may not have run).
+  // For cross-set aggregation (the cluster farm merges per-machine latency sets
+  // before computing cluster-wide percentiles).
+  const std::vector<double>& samples() const { return samples_; }
+
   // Linear-interpolated percentile, p in [0, 100]. Requires at least one sample.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }

@@ -1,5 +1,6 @@
 // FeedbackAllocator behaviour on a live simulated system: registration/admission,
 // adaptation of real-rate and miscellaneous threads, squishing, quality exceptions.
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -333,6 +334,52 @@ TEST(ControllerPipelineTest, ShadowModeCountsCleanAndDirtySamples) {
   // A trickle producer leaves the consumer's queue untouched between most 10 ms
   // controller ticks: the dirty-set sampler must actually skip.
   EXPECT_GT(system.controller().clean_samples(), 0);
+}
+
+// The ledger's event-maintained fixed sums must survive rebalancer migrations:
+// deliberately stacking every reservation onto two of four cores forces the
+// greedy rebalance pass to re-home reservations through Machine::Migrate (and
+// the controller's migration hook -> BudgetLedger::MoveFixed), while shadow
+// mode asserts ledger == FixedPptOnCoreScan inside every resolve tick (an
+// RR_CHECK abort on the first divergence). The adaptive hogs keep every core's
+// squish active so the shadow comparison actually runs.
+TEST(ControllerPipelineTest, ShadowScanAgreesAcrossRebalancerMigrationStorm) {
+  SystemConfig config;
+  config.num_cpus = 4;
+  config.controller.shadow_check = true;
+  config.machine.rebalance_interval = Duration::Millis(20);
+  // Average reserved load is 8 x 150 ppt / 4 cores = 0.3, exactly the threshold,
+  // so the greedy pass keeps migrating until the skew below is fully levelled.
+  config.machine.rebalance_threshold = 0.3;
+  System system(config);
+  std::vector<SimThread*> rts;
+  for (int i = 0; i < 8; ++i) {
+    SimThread* rt = system.Spawn("rt" + std::to_string(i), std::make_unique<CpuHogWork>());
+    ASSERT_TRUE(
+        system.controller().AddRealTime(rt, Proportion::Ppt(150), Duration::Millis(10)));
+    rts.push_back(rt);
+  }
+  // Placement spreads reservations evenly; undo that by stacking all eight onto
+  // cores 0 and 1 (600 ppt each, cores 2 and 3 idle) before the machine starts.
+  // Each forced move runs the migration hook, so the ledger tracks the skew too.
+  for (size_t i = 0; i < rts.size(); ++i) {
+    system.machine().Migrate(rts[i], i < 4 ? 0 : 1);
+  }
+  for (int i = 0; i < 4; ++i) {
+    SimThread* hog = system.Spawn("hog" + std::to_string(i), std::make_unique<CpuHogWork>());
+    system.controller().AddMiscellaneous(hog);
+  }
+  system.Start();
+  system.RunFor(Duration::Seconds(2));
+  EXPECT_GT(system.machine().migrations(), 0);
+  EXPECT_GT(system.controller().shadow_checks(), 0);
+  // Reserved load (fixed reservations plus the hogs' adaptive grants) is still
+  // spread over every core: the rebalancer did not strand the forced skew.
+  double spread_min = 1.0;
+  for (CpuId c = 0; c < 4; ++c) {
+    spread_min = std::min(spread_min, system.machine().ReservedFractionOn(c));
+  }
+  EXPECT_GT(spread_min, 0.0);
 }
 
 // --- Lifecycle edges ---

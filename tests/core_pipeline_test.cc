@@ -53,6 +53,132 @@ TEST(BudgetLedgerTest, GrantedAndSpareSumsPerTick) {
   EXPECT_NEAR(ledger.SpareFractionOn(0, 0.95), 0.45, 1e-12);
 }
 
+TEST(BudgetLedgerTest, SpareClampsAtZeroWhenOverSubscribed) {
+  // Mid-squish (or after an admission backoff) fixed + granted can transiently
+  // exceed the threshold. "Negative spare" is not a routing signal: the clamped
+  // contract says an over-subscribed core simply has nothing to give.
+  BudgetLedger ledger(2);
+  ledger.AddFixed(0, 800);
+  ledger.SetGranted(0, 0.3);  // 0.8 + 0.3 = 1.1 > any threshold.
+  EXPECT_DOUBLE_EQ(ledger.SpareFractionOn(0, 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.SpareFractionOn(0, 0.5), 0.0);
+  EXPECT_EQ(ledger.spare_ppt_on(0), 0);
+  // The untouched core keeps its full head-room, and the machine-wide aggregate
+  // is the clamped per-core sum — the over-subscription does not bleed into it.
+  EXPECT_EQ(ledger.spare_ppt_on(1), 950);
+  EXPECT_EQ(ledger.spare_ppt_total(), 950);
+  // Draining the over-subscription restores spare continuously from zero.
+  ledger.SetGranted(0, 0.0);
+  EXPECT_EQ(ledger.spare_ppt_on(0), 150);
+  EXPECT_EQ(ledger.spare_ppt_total(), 1100);
+}
+
+TEST(BudgetLedgerTest, SpareAggregateFollowsTheAdmissionThreshold) {
+  BudgetLedger ledger(2);
+  EXPECT_EQ(ledger.threshold_ppt(), 950);  // ControllerConfig default mirrored.
+  EXPECT_EQ(ledger.spare_ppt_total(), 2 * 950);
+  ledger.AddFixed(0, 600);
+  EXPECT_EQ(ledger.spare_ppt_total(), 350 + 950);
+  // Adaptive admission backoff lowers the ceiling; the aggregate re-levels
+  // (and core 0's contribution re-clamps at the new threshold).
+  ledger.SetThresholdPpt(500);
+  EXPECT_EQ(ledger.spare_ppt_on(0), 0);
+  EXPECT_EQ(ledger.spare_ppt_on(1), 500);
+  EXPECT_EQ(ledger.spare_ppt_total(), 500);
+}
+
+TEST(BudgetLedgerTest, ZeroPptRoundTripsAndSameCoreMovesAreNoOps) {
+  BudgetLedger ledger(3);
+  ledger.AddFixed(1, 250);
+  ledger.SetGranted(1, 0.2);
+  const int64_t fixed = ledger.fixed_ppt_on(1);
+  const int64_t total = ledger.fixed_ppt_total();
+  const int64_t spare = ledger.spare_ppt_total();
+  // Zero-ppt add/remove round trips (a zero-proportion reservation's lifecycle).
+  ledger.AddFixed(1, 0);
+  ledger.RemoveFixed(1, 0);
+  ledger.AddFixed(2, 0);
+  ledger.RemoveFixed(2, 0);
+  // Same-core "migrations" (the rebalancer picking the core a thread is on).
+  ledger.MoveFixed(1, 1, 250);
+  ledger.MoveFixed(0, 0, 0);
+  EXPECT_EQ(ledger.fixed_ppt_on(1), fixed);
+  EXPECT_EQ(ledger.fixed_ppt_total(), total);
+  EXPECT_EQ(ledger.spare_ppt_total(), spare);
+}
+
+TEST(BudgetLedgerTest, MigrationStormAgreesWithReferenceScan) {
+  // A deterministic storm of add/remove/move/grant ops, mirrored into a naive
+  // per-core model. The incremental ledger (including the clamped spare
+  // aggregate) must agree with the reference recompute after every op — the
+  // same property the controller's shadow mode asserts against
+  // FixedPptOnCoreScan on live machines, here across every mutation kind.
+  constexpr int kCores = 8;
+  BudgetLedger ledger(kCores);
+  int64_t fixed[kCores] = {};
+  double granted[kCores] = {};
+  int32_t threshold = 950;
+  uint64_t x = 12345;
+  auto next = [&x]() {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return x >> 33;
+  };
+  for (int op = 0; op < 2'000; ++op) {
+    const int core = static_cast<int>(next() % kCores);
+    switch (next() % 5) {
+      case 0: {
+        const auto ppt = static_cast<int32_t>(next() % 400);
+        ledger.AddFixed(core, ppt);
+        fixed[core] += ppt;
+        break;
+      }
+      case 1: {
+        if (fixed[core] > 0) {
+          const auto ppt = static_cast<int32_t>(next() % (fixed[core] + 1));
+          ledger.RemoveFixed(core, ppt);
+          fixed[core] -= ppt;
+        }
+        break;
+      }
+      case 2: {  // The rebalancer's move — including to the same core.
+        const int to = static_cast<int>(next() % kCores);
+        if (fixed[core] > 0) {
+          const auto ppt = static_cast<int32_t>(next() % (fixed[core] + 1));
+          ledger.MoveFixed(core, to, ppt);
+          if (core != to) {
+            fixed[core] -= ppt;
+            fixed[to] += ppt;
+          }
+        }
+        break;
+      }
+      case 3: {
+        const double g = static_cast<double>(next() % 1200) / 1000.0;
+        ledger.SetGranted(core, g);
+        granted[core] = g;
+        break;
+      }
+      case 4: {  // Adaptive admission backoff / recovery.
+        threshold = static_cast<int32_t>(500 + next() % 501);
+        ledger.SetThresholdPpt(threshold);
+        break;
+      }
+    }
+    int64_t want_fixed_total = 0;
+    int64_t want_spare_total = 0;
+    for (int c = 0; c < kCores; ++c) {
+      ASSERT_EQ(ledger.fixed_ppt_on(c), fixed[c]) << "op " << op;
+      want_fixed_total += fixed[c];
+      const int64_t spare = threshold - fixed[c] -
+                            Proportion::FromFraction(granted[c]).ppt();
+      want_spare_total += spare > 0 ? spare : 0;
+      ASSERT_EQ(ledger.spare_ppt_on(c), spare > 0 ? spare : 0) << "op " << op;
+    }
+    ASSERT_EQ(ledger.fixed_ppt_total(), want_fixed_total) << "op " << op;
+    ASSERT_EQ(ledger.spare_ppt_total(), want_spare_total) << "op " << op;
+  }
+}
+
 TEST(SaturationWindowTest, IncrementalEvidenceMatchesScanThroughEviction) {
   SaturationWindow window(4);
   EXPECT_EQ(window.evidence(), 0);

@@ -211,8 +211,14 @@ TEST(WorkloadGeneratorTest, GeneratedSpecsAreFeasibleByConstruction) {
     EXPECT_GE(spec.num_cpus, 1) << seed;
     EXPECT_LE(spec.num_cpus, 8) << seed;
     EXPECT_TRUE(spec.run_for.IsPositive()) << seed;
-    EXPECT_FALSE(spec.pipelines.empty() && spec.hogs.empty() && spec.reservations.empty())
-        << seed;
+    if (spec.cluster.num_machines > 0) {
+      // Cluster-bucket specs carry their whole load in the cluster-wide stream;
+      // no closed-loop threads are required (or generated).
+      EXPECT_FALSE(spec.open_loops.empty()) << seed;
+    } else {
+      EXPECT_FALSE(spec.pipelines.empty() && spec.hogs.empty() && spec.reservations.empty())
+          << seed;
+    }
     double fixed = 0.0;
     for (const PipelineSpec& p : spec.pipelines) {
       // Largest possible item (segments may double the base) must fit its queue, or a
@@ -287,6 +293,46 @@ TEST(DifferentialRunnerTest, ControllerShadowEngagesOnAControlPlaneBucketSeed) {
     return;
   }
   FAIL() << "no control-plane bucket seed in 1..200";
+}
+
+TEST(WorkloadGeneratorTest, ClusterBucketSpecsDescribeRoutableFarms) {
+  // The ~1-in-16 cluster bucket: 2-4 machines, a positive epoch, and exactly one
+  // cluster-wide open-loop stream whose largest request fits the per-node queues.
+  int found = 0;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    const WorkloadSpec spec = GenerateWorkload(seed);
+    if (spec.cluster.num_machines == 0) {
+      continue;
+    }
+    ++found;
+    EXPECT_GE(spec.cluster.num_machines, 2) << seed;
+    EXPECT_LE(spec.cluster.num_machines, 4) << seed;
+    EXPECT_TRUE(spec.cluster.epoch.IsPositive()) << seed;
+    EXPECT_GE(spec.cluster.pressure_damping, 0.0) << seed;
+    EXPECT_LT(spec.cluster.pressure_damping, 1.0) << seed;
+    ASSERT_EQ(spec.open_loops.size(), 1u) << seed;
+    const OpenLoopSpec& ol = spec.open_loops.front();
+    EXPECT_GT(ol.num_workers, 0) << seed;
+    EXPECT_LE(ol.arrivals.max_request_bytes, ol.worker_queue_bytes) << seed;
+    EXPECT_LE(ol.arrivals.max_request_bytes, ol.listen_queue_bytes) << seed;
+    EXPECT_GT(ol.arrivals.requests_per_sec, 0.0) << seed;
+  }
+  EXPECT_GE(found, 1) << "no cluster bucket seed in 1..200";
+}
+
+TEST(DifferentialRunnerTest, ClusterBucketSeedPassesItsBattery) {
+  // The first cluster-bucket seed must pass the cluster differential battery:
+  // M=1 pinned to a bare machine, host-thread invariance, rerun stability.
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    if (GenerateWorkload(seed).cluster.num_machines == 0) {
+      continue;
+    }
+    const SeedReport report = CheckSeed(seed);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": "
+                             << (report.failures.empty() ? "" : report.failures.front());
+    return;
+  }
+  FAIL() << "no cluster bucket seed in 1..200";
 }
 
 TEST(WorkloadGeneratorTest, DeriveSeedSeparatesComponents) {

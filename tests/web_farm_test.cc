@@ -280,5 +280,24 @@ TEST(WebFarmTest, OversizedReplayRecordsAreClampedNotFatal) {
   EXPECT_EQ(result.served, 3);
 }
 
+TEST(WebFarmTest, AllDropRunReturnsZeroedPercentilesNotAbort) {
+  // Regression: an all-drop configuration serves zero requests, and the result
+  // path must return explicit zeroed latency columns instead of hitting
+  // SampleSet::Percentile's non-empty precondition. Service demand far beyond
+  // the horizon guarantees nothing ever completes.
+  WebFarmParams params = PinParams();
+  params.run_for = Duration::Millis(200);
+  params.arrivals.requests_per_sec = 500.0;
+  params.arrivals.service_cycles = Cycles{4'000'000'000'000};
+  const WebFarmResult result = RunWebFarmScenario(params);
+  EXPECT_GT(result.injected, 0);
+  EXPECT_EQ(result.served, 0);
+  EXPECT_DOUBLE_EQ(result.p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(result.p99_ms, 0.0);
+  EXPECT_DOUBLE_EQ(result.p999_ms, 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_ms, 0.0);
+  EXPECT_DOUBLE_EQ(result.max_ms, 0.0);
+}
+
 }  // namespace
 }  // namespace realrate

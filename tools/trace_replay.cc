@@ -270,6 +270,15 @@ int Replay(const Args& args) {
     std::fprintf(stderr, "%s: %s\n", args.file.c_str(), error.c_str());
     return 1;
   }
+  // An empty (or comment/whitespace-only) log parses successfully but replaying
+  // zero requests is never what the caller meant — the usual cause is a wrong
+  // path or a generate step that wrote nothing. Loud error over silent no-op,
+  // matching the strict-flag precedent.
+  if (records.empty()) {
+    std::fprintf(stderr, "%s: request log contains no requests; nothing to replay\n",
+                 args.file.c_str());
+    return 1;
+  }
   // Default horizon: the last arrival plus settling time, so the tail of the log
   // actually gets served.
   Duration run_for = Duration::Millis(args.horizon_ms);
