@@ -25,6 +25,7 @@
 #include "exp/scenarios.h"
 #include "util/assert.h"
 #include "util/time.h"
+#include "workloads/web_farm.h"
 
 namespace realrate {
 namespace {
@@ -47,30 +48,99 @@ struct Cell {
   double wall_sec = 0.0;
   uint64_t trace_hash = 0;
   int64_t parallel_rounds = 0;
+  int64_t mailbox_rounds = 0;
 };
+
+// A queue-driven farm in the mailbox regime: matched-rate pipelines (producer
+// 40 ppt at 24k cycles / 64 B item, consumer parity at 400 cycles/byte) whose
+// per-tick staked traffic (~2.5 KB each way) is small against the 64 KB queues,
+// plus a hog population dense enough that each fanned-out round carries real
+// work. Before per-core epoch mailboxes the queue ops alone forced every one of
+// these rounds down the sequential path (parallel_rounds == 0 here).
+ServerFarmParams MailboxPipelineFarmAt(int host_threads) {
+  ServerFarmParams params;
+  params.num_cpus = kCpus;
+  params.num_pipelines = 16;
+  params.num_hogs = 512;
+  params.queue_bytes = 64 * 1024;
+  params.producer_proportion = Proportion::Ppt(40);
+  params.producer_cycles_per_item = 24'000;
+  params.bytes_per_item = 64.0;
+  params.consumer_cycles_per_byte = 400;
+  params.host_threads = host_threads;
+  params.run_for = Duration::Millis(300);
+  return params;
+}
+
+// The web farm at 85% of capacity: the acceptor's scatter and every worker's
+// queue drain are staked through the mailbox, so admission/dispatch rounds fan
+// out despite crossing the listen and per-worker queues.
+WebFarmParams MailboxWebFarmAt(int host_threads) {
+  WebFarmParams params;
+  params.num_cpus = kCpus;
+  params.num_workers = 8;
+  params.num_acceptors = 1;
+  params.host_threads = host_threads;
+  params.run_for = Duration::Millis(600);
+  params.arrivals.requests_per_sec = 0.85 * WebFarmCapacityRps(params);
+  return params;
+}
 
 // Best-of-N wall time: host interference only ever adds wall time, so each cell's
 // min is its least-contaminated estimate. Trials interleave across host-thread
 // counts (the caller loops density-major), matching the other scaling benches.
-Cell Measure(int threads_per_core, int host_threads, int trials) {
+template <typename RunFn>
+Cell MeasureCell(RunFn&& run, int trials) {
   Cell cell;
   cell.wall_sec = 1e30;
   for (int trial = 0; trial < trials; ++trial) {
     const auto start = std::chrono::steady_clock::now();
-    const ServerFarmResult result = RunServerFarmScenario(FarmAt(threads_per_core,
-                                                                 host_threads));
+    const Cell sample = run();
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     cell.wall_sec = std::min(cell.wall_sec, wall);
     if (trial == 0) {
-      cell.trace_hash = result.trace_hash;
-      cell.parallel_rounds = result.parallel_rounds;
+      cell.trace_hash = sample.trace_hash;
+      cell.parallel_rounds = sample.parallel_rounds;
+      cell.mailbox_rounds = sample.mailbox_rounds;
     } else {
       // Determinism across trials too — a flaky hash would poison the baseline.
-      RR_CHECK(result.trace_hash == cell.trace_hash);
+      RR_CHECK(sample.trace_hash == cell.trace_hash);
     }
   }
   return cell;
+}
+
+Cell Measure(int threads_per_core, int host_threads, int trials) {
+  return MeasureCell(
+      [&] {
+        const ServerFarmResult result =
+            RunServerFarmScenario(FarmAt(threads_per_core, host_threads));
+        return Cell{0.0, result.trace_hash, result.parallel_rounds,
+                    result.mailbox_rounds};
+      },
+      trials);
+}
+
+Cell MeasureMailboxPipeline(int host_threads, int trials) {
+  return MeasureCell(
+      [&] {
+        const ServerFarmResult result =
+            RunServerFarmScenario(MailboxPipelineFarmAt(host_threads));
+        return Cell{0.0, result.trace_hash, result.parallel_rounds,
+                    result.mailbox_rounds};
+      },
+      trials);
+}
+
+Cell MeasureMailboxWebFarm(int host_threads, int trials) {
+  return MeasureCell(
+      [&] {
+        const WebFarmResult result = RunWebFarmScenario(MailboxWebFarmAt(host_threads));
+        return Cell{0.0, result.trace_hash, result.parallel_rounds,
+                    result.mailbox_rounds};
+      },
+      trials);
 }
 
 void PrintParallelScale() {
@@ -121,6 +191,56 @@ void PrintParallelScale() {
               all_equal ? 1 : 0);
 }
 
+// Queue-driven rounds through the per-core epoch mailboxes: same table shape as
+// above, but every fanned-out round stakes real BoundedBuffer push/pop traffic.
+// Before the mailbox gate both rows below ran parallel_rounds == 0 wall to wall.
+void PrintMailboxScale() {
+  const int host_cpus = static_cast<int>(std::thread::hardware_concurrency());
+  bench::PrintHeader(
+      "Mailbox rounds end to end (queue-driven farms, 4 simulated cores)\n"
+      "pipeline: 16 matched-rate pipelines + 512 hogs, 300 ms virtual\n"
+      "webfarm:  8 workers / 1 acceptor at 85% capacity, 600 ms virtual");
+  std::printf("  host cpus: %d%s\n\n", host_cpus,
+              host_cpus < kCpus ? "  (speedups below are starved; equality still binds)"
+                                : "");
+  std::printf("  %8s %10s %10s %10s %9s %9s %9s %12s\n", "family", "ht1 sec", "ht2 sec",
+              "ht4 sec", "x2", "x4", "mailbox", "trace_equal");
+
+  struct Row {
+    const char* family;
+    Cell (*measure)(int host_threads, int trials);
+  };
+  constexpr Row kRows[] = {{"pipeline", MeasureMailboxPipeline},
+                           {"webfarm", MeasureMailboxWebFarm}};
+  for (const Row& row : kRows) {
+    constexpr int kTrials = 2;
+    const Cell c1 = row.measure(1, kTrials);
+    const Cell c2 = row.measure(2, kTrials);
+    const Cell c4 = row.measure(4, kTrials);
+    // The sequential engine never counts mailbox rounds; the parallel runs must
+    // stake some (else the equality below is vacuous) and reproduce the
+    // reference trace bit for bit.
+    RR_CHECK(c1.parallel_rounds == 0 && c1.mailbox_rounds == 0);
+    RR_CHECK(c2.parallel_rounds > 0 && c2.mailbox_rounds > 0);
+    RR_CHECK(c4.parallel_rounds > 0 && c4.mailbox_rounds > 0);
+    const bool equal = c2.trace_hash == c1.trace_hash && c4.trace_hash == c1.trace_hash;
+    RR_CHECK(equal);
+    std::printf("  %8s %10.3f %10.3f %10.3f %8.2fx %8.2fx %9lld %12s\n", row.family,
+                c1.wall_sec, c2.wall_sec, c4.wall_sec, c1.wall_sec / c2.wall_sec,
+                c1.wall_sec / c4.wall_sec, static_cast<long long>(c4.mailbox_rounds),
+                equal ? "yes" : "NO");
+    // Machine-readable lines for scripts/check_parallel_scale.py (CI gate).
+    std::printf("PARALLEL_SCALE_MAILBOX family=%s host_cpus=%d wall_ht1=%.4f "
+                "wall_ht2=%.4f wall_ht4=%.4f speedup_ht2=%.3f speedup_ht4=%.3f "
+                "parallel_rounds=%lld mailbox_rounds=%lld trace_equal=%d\n",
+                row.family, host_cpus, c1.wall_sec, c2.wall_sec, c4.wall_sec,
+                c1.wall_sec / c2.wall_sec, c1.wall_sec / c4.wall_sec,
+                static_cast<long long>(c4.parallel_rounds),
+                static_cast<long long>(c4.mailbox_rounds), equal ? 1 : 0);
+  }
+  std::printf("\n");
+}
+
 void BM_FarmRoundtrip(benchmark::State& state) {
   const int host_threads = static_cast<int>(state.range(0));
   ServerFarmParams params = FarmAt(/*threads_per_core=*/128, host_threads);
@@ -138,6 +258,7 @@ BENCHMARK(BM_FarmRoundtrip)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecon
 
 int main(int argc, char** argv) {
   realrate::PrintParallelScale();
+  realrate::PrintMailboxScale();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -492,6 +492,7 @@ ServerFarmResult RunServerFarmScenario(const ServerFarmParams& params) {
   result.migrations = system.machine().migrations();
   result.idle_suspensions = system.machine().idle_suspensions();
   result.parallel_rounds = system.machine().parallel_rounds();
+  result.mailbox_rounds = system.machine().mailbox_rounds();
   const auto per_core_capacity =
       static_cast<double>(system.sim().cpu().DurationToCycles(params.run_for));
   result.aggregate_user_fraction =

@@ -190,6 +190,8 @@ void FillOutcome(RunOutcome& outcome, const Simulator& sim, const Machine& machi
   outcome.user_cycles = sim.UsedAllCpus(CpuUse::kUser);
   outcome.cycles_per_tick = machine.cycles_per_tick();
   outcome.dispatches = machine.dispatches();
+  outcome.parallel_rounds = machine.parallel_rounds();
+  outcome.mailbox_rounds = machine.mailbox_rounds();
   for (const SimThread* t : threads.All()) {
     outcome.total_progress += t->progress_units();
   }
@@ -516,6 +518,8 @@ SeedReport CheckSeed(uint64_t seed, const SeedCheckOptions& options) {
       RunOptions fanned = base;
       fanned.host_threads = host_threads;
       const RunOutcome many = RunWorkload(spec, fanned);
+      report.equivalence_parallel_rounds += many.parallel_rounds;
+      report.equivalence_mailbox_rounds += many.mailbox_rounds;
       if (many.trace_hash != one.trace_hash || many.total_progress != one.total_progress ||
           many.dispatches != one.dispatches) {
         report.failures.push_back(

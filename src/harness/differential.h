@@ -97,6 +97,11 @@ struct RunOutcome {
   Cycles cycles_per_tick = 0;   // One core's dispatch-interval capacity.
   int64_t total_progress = 0;   // Σ progress_units over every thread.
   int64_t dispatches = 0;
+  // Dispatch rounds the machine fanned out over the parallel engine, and the
+  // subset that staked queue ops through the per-core epoch mailboxes. Always
+  // zero at host_threads == 1 (the sequential engine never fans out).
+  int64_t parallel_rounds = 0;
+  int64_t mailbox_rounds = 0;
   // Feedback runs only: dispatches that executed the shadow comparison (indexed pick
   // asserted equal to the reference scan pick), summed over cores. Zero unless
   // RunOptions::rbs_shadow_check.
@@ -132,6 +137,13 @@ struct SeedReport {
   WorkloadSpec spec;
   std::vector<std::string> failures;  // Empty <=> the seed passed everything.
   std::string trace_dump;             // First violating run's trace (may be empty).
+  // Rounds the host-thread equivalence pass fanned out, summed over its parallel
+  // runs — and the subset that staked queue ops through the per-core epoch
+  // mailboxes. realrate_check aggregates these across the battery and fails if
+  // mailbox-regime seeds were generated but no round ever staked: that would mean
+  // the 1-vs-N comparison quietly stopped exercising parallel queue rounds.
+  int64_t equivalence_parallel_rounds = 0;
+  int64_t equivalence_mailbox_rounds = 0;
   bool ok() const { return failures.empty(); }
 };
 

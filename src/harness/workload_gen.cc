@@ -280,6 +280,43 @@ WorkloadSpec GenerateWorkload(uint64_t seed) {
     return spec;
   }
 
+  // Mailbox-regime bucket (~1 seed in 8): matched-rate unpaced pipelines sized so
+  // queue-driven rounds pass the per-core epoch mailbox gate — per-tick staked
+  // traffic (a few hundred bytes each way at 40 ppt / 400 MHz) is small against
+  // the 64 KB queues, and the feedback controller's half-full steering keeps every
+  // queue with both a fill cushion (pops never drain it) and headroom (pushes
+  // never fill it). The host-thread equivalence pass (differential.cc pass 1e)
+  // then fans real staked rounds out instead of only hog rounds; realrate_check
+  // aggregates the staked-round counts so that pass can never go vacuous silently.
+  // Half the pipelines carry one chunked stage so PipelineStageWork's round plan
+  // is fuzzed too. Reservations total ≤ 8 × 40 ppt = 0.32 < 0.45 × 4 cores.
+  if (rng.NextBool(0.125)) {
+    spec.mailbox_regime = true;
+    spec.num_cpus = 4;
+    spec.run_for = Duration::Millis(200 + static_cast<int64_t>(rng.NextBounded(100)));
+    const int mailbox_pipelines = 6 + static_cast<int>(rng.NextBounded(3));  // 6-8.
+    for (int i = 0; i < mailbox_pipelines; ++i) {
+      PipelineSpec p;
+      p.producer_cycles_per_item = 3'000 + static_cast<Cycles>(rng.NextBounded(3'000));
+      p.bytes_per_item = 48.0 + rng.NextDouble() * 32.0;
+      p.consumer_cycles_per_byte = 300 + static_cast<Cycles>(rng.NextBounded(300));
+      p.producer_proportion = Proportion::Ppt(40);
+      p.producer_period = Duration::Millis(5 + i % 9);
+      p.source_queue_bytes = 64 * 1024;
+      if (i % 2 == 0) {
+        StageSpec stage;
+        stage.cycles_per_byte = 200 + static_cast<Cycles>(rng.NextBounded(400));
+        stage.chunk_bytes = 96 + static_cast<int64_t>(rng.NextBounded(64));
+        stage.queue_bytes = 64 * 1024;
+        p.stages.push_back(stage);
+      }
+      p.priority = 3 + i % 5;
+      p.tickets = 50 + (i % 7) * 37;
+      spec.pipelines.push_back(std::move(p));
+    }
+    return spec;
+  }
+
   // Fixed-reservation budget: at most 45% of the machine, each reservation at most
   // 45% of one core. The controller's least-fixed-loaded-core admission then always
   // finds a core below 50%, so every generated reservation is admitted (see
@@ -358,9 +395,10 @@ std::string WorkloadSpec::ToString() const {
   std::string out;
   char line[256];
   std::snprintf(line, sizeof(line),
-                "workload seed=%llu cpus=%d clock=%.0fMHz run_for=%lldms\n",
+                "workload seed=%llu cpus=%d clock=%.0fMHz run_for=%lldms%s\n",
                 static_cast<unsigned long long>(seed), num_cpus, clock_hz / 1e6,
-                static_cast<long long>(run_for.millis()));
+                static_cast<long long>(run_for.millis()),
+                mailbox_regime ? " (mailbox-regime)" : "");
   out += line;
   if (cluster.num_machines > 0) {
     std::snprintf(line, sizeof(line),

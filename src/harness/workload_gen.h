@@ -135,6 +135,13 @@ struct WorkloadSpec {
   int num_cpus = 1;
   double clock_hz = 400e6;
   Duration run_for = Duration::Zero();
+  // Generator marker: this spec was drawn from the mailbox-regime bucket —
+  // matched-rate unpaced pipelines whose per-tick queue traffic is small against
+  // large queues, so the parallel engine's per-core epoch mailboxes should stake
+  // some rounds. The host-thread equivalence pass counts staked rounds across the
+  // battery (realrate_check's vacuity line) to prove the 1-vs-N comparison
+  // actually exercises parallel queue rounds.
+  bool mailbox_regime = false;
   std::vector<PipelineSpec> pipelines;
   std::vector<HogSpec> hogs;
   std::vector<ReservationSpec> reservations;

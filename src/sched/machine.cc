@@ -505,6 +505,131 @@ bool Machine::RoundIsLocal(TimePoint now) {
   return local;
 }
 
+void Machine::RecordPlanFailure() {
+  plan_fail_valid_ = true;
+  plan_fail_gate_epoch_ = gate_epoch_;
+  plan_fail_queues_.clear();
+  // Everything consulted so far: queues already in the claim table, plus the queues
+  // the failing model listed (for a data-limited plan, the input whose refill would
+  // make the plan succeed). A queue can appear in both; the duplicate check is
+  // harmless and the vector stays small.
+  for (const QueueClaim& claim : round_claims_) {
+    plan_fail_queues_.emplace_back(claim.queue, claim.queue->change_epoch());
+  }
+  for (const RoundQueueOp& op : plan_ops_) {
+    if (op.queue != nullptr) {
+      plan_fail_queues_.emplace_back(op.queue, op.queue->change_epoch());
+    }
+  }
+}
+
+bool Machine::RoundPlanIsFeasible(TimePoint now) {
+  // Fail-fast: the last failure stands while the runnable set and every consulted
+  // queue's change epoch are unchanged — nothing that could flip the verdict has
+  // moved. (A plan's byte bounds also depend on `now`, so a stale failure can in
+  // principle outlive its cause on a machine whose queues go quiet; that only costs
+  // parallelism — the sequential path is always correct — and any traffic on a
+  // consulted queue re-opens the evaluation immediately.)
+  if (plan_fail_valid_ && plan_fail_gate_epoch_ == gate_epoch_) {
+    bool unchanged = true;
+    for (const auto& [queue, epoch] : plan_fail_queues_) {
+      if (queue->change_epoch() != epoch) {
+        unchanged = false;
+        break;
+      }
+    }
+    if (unchanged) {
+      return false;
+    }
+  }
+  plan_fail_valid_ = false;
+  round_claims_.clear();
+  round_staged_.clear();
+  const uint64_t stamp = ++plan_stamp_;
+
+  // Classification sweep: every runnable thread must be a hog (full-tick
+  // RoundLocalCycles) or produce a queue plan under its scheduler's cycle bound.
+  // Claims aggregate per queue in sweep order; the single-pusher/single-popper rule
+  // keeps each side-band FIFO's mid-round order equal to the sequential engine's.
+  auto consider = [&](SimThread* t) -> bool {
+    WorkModel& work = t->work();
+    if (work.RoundLocalCycles(now) >= cycles_per_tick_) {
+      return true;  // Hog: no queue ops, nothing to stage.
+    }
+    plan_ops_.clear();
+    const Cycles bound = CoreAt(t->cpu()).scheduler->RoundCycleBound(t, cycles_per_tick_);
+    if (bound <= 0 || !work.PlanRoundQueueOps(now, bound, &plan_ops_)) {
+      RecordPlanFailure();
+      return false;
+    }
+    for (const RoundQueueOp& op : plan_ops_) {
+      RR_CHECK(op.queue != nullptr && op.push_bytes >= 0 && op.pop_bytes >= 0);
+      if (op.queue->PlanMark(stamp, static_cast<int32_t>(round_claims_.size()))) {
+        round_claims_.push_back(QueueClaim{op.queue, {}, {}, kInvalidThreadId,
+                                           kInvalidThreadId});
+      }
+      QueueClaim& claim = round_claims_[static_cast<size_t>(op.queue->plan_slot())];
+      if (op.push_bytes > 0) {
+        if (claim.pusher != kInvalidThreadId && claim.pusher != t->id()) {
+          RecordPlanFailure();
+          return false;  // Second pusher: staged FIFO order would be ambiguous.
+        }
+        claim.pusher = t->id();
+        claim.push.budget_bytes += op.push_bytes;
+      }
+      if (op.pop_bytes > 0) {
+        if (claim.popper != kInvalidThreadId && claim.popper != t->id()) {
+          RecordPlanFailure();
+          return false;
+        }
+        claim.popper = t->id();
+        claim.pop.budget_bytes += op.pop_bytes;
+      }
+    }
+    round_staged_.emplace_back(t->cpu(), &work);
+    return true;
+  };
+
+  bool ok = true;
+  if (UseColumns()) {
+    const int32_t n = slabs_->slot_count();
+    for (int32_t s = 0; s < n && ok; ++s) {
+      if (slabs_->state(s) == ThreadState::kRunnable) {
+        ok = consider(slabs_->thread_at(s));
+      }
+    }
+  } else {
+    for (SimThread* t : registry_.All()) {
+      if (!t->HasExited() && t->state() == ThreadState::kRunnable) {
+        if (!consider(t)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+  }
+  if (!ok) {
+    return false;
+  }
+
+  // Feasibility: with at most one pusher and one popper per queue, total pushes
+  // fitting the free space and total pops covered by the round-start fill mean no
+  // interleaving — including the sequential one — can reach a full or empty edge:
+  // every op this round succeeds with its full request, and no wake can fire.
+  // A parked waiter would need exactly such a wake, so any waiter fails the gate.
+  for (const QueueClaim& claim : round_claims_) {
+    const BoundedBuffer* q = claim.queue;
+    if (!q->waiting_producers().empty() || !q->waiting_consumers().empty() ||
+        q->fill() + claim.push.budget_bytes > q->capacity() ||
+        claim.pop.budget_bytes > q->fill()) {
+      plan_ops_.clear();  // Claims alone key the failure.
+      RecordPlanFailure();
+      return false;
+    }
+  }
+  return true;
+}
+
 void Machine::Emit(CpuId core, TimePoint t, TraceKind kind, ThreadId thread, int64_t arg0,
                    int64_t arg1) {
   if (in_round_) {
@@ -550,11 +675,33 @@ void Machine::RoundTick() {
   accounted_through_ = now;
   WakeExpiredSleepers(now);
 
+  bool staked = false;
   if (!RoundIsLocal(now)) {
-    for (CpuId c = 0; c < n; ++c) {
-      TickRest(c, now);
+    // Not all hogs: try the mailbox gate — pre-claimed queue stakes extend the
+    // parallel path to pipeline- and farm-shaped rounds.
+    staked = RoundPlanIsFeasible(now);
+    if (!staked) {
+      for (CpuId c = 0; c < n; ++c) {
+        TickRest(c, now);
+      }
+      return;
     }
-    return;
+  }
+
+  if (staked) {
+    // Install the pre-claimed stakes (the claim table is final — stake pointers
+    // stay put) and switch the planned models' cross-thread side effects (side-band
+    // FIFO appends, shared sample sets) into staging mode, core-major flush order.
+    for (QueueClaim& claim : round_claims_) {
+      claim.queue->InstallRoundStakes(
+          claim.pusher != kInvalidThreadId ? &claim.push : nullptr,
+          claim.popper != kInvalidThreadId ? &claim.pop : nullptr);
+    }
+    std::stable_sort(round_staged_.begin(), round_staged_.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [core, model] : round_staged_) {
+      model->BeginRoundStaging();
+    }
   }
 
   // Parallel epoch. The schedulers' tick work stays on the coordinator — it is the
@@ -594,6 +741,21 @@ void Machine::RoundTick() {
       const uint64_t gen = next_generation_++;
       SetSleepGen(staged.thread->id(), gen);
       PushSleeper(SleepEntry{staged.wake_at, gen, staged.thread->id()});
+    }
+  }
+
+  if (staked) {
+    // Merge the round's queue effects: per-queue fill deltas (flowing through the
+    // registry's fill aggregate), totals, and change-epoch bumps settle to exactly
+    // the sequential end-of-round state; staged side-band effects flush in core
+    // order. Nothing observes queue state mid-round (the controller, the cluster
+    // fence, and the checker all run between rounds), so settle order is free.
+    ++mailbox_rounds_;
+    for (QueueClaim& claim : round_claims_) {
+      claim.queue->SettleRoundStakes();
+    }
+    for (const auto& [core, model] : round_staged_) {
+      model->FlushRoundEffects();
     }
   }
 

@@ -234,6 +234,12 @@ class Machine {
   // Tick rounds that actually ran the per-core dispatch loops across host threads
   // (0 when host_threads == 1 or no round ever passed the independence gate).
   int64_t parallel_rounds() const { return parallel_rounds_; }
+  // The subset of parallel_rounds() admitted through the mailbox gate — rounds whose
+  // queue operations ran against pre-claimed BoundedBuffer stakes rather than the
+  // hog-only RoundLocalCycles gate. The vacuity signal for the queue-round
+  // equivalence passes: a pipeline/farm config that claims to exercise the parallel
+  // path must show this > 0.
+  int64_t mailbox_rounds() const { return mailbox_rounds_; }
   // Host threads the machine will use (config.host_threads clamped to the core
   // count; 1 when no ParallelEngine was created).
   int host_threads() const;
@@ -310,6 +316,22 @@ class Machine {
   // starting at `now` — the precondition for running dispatch loops concurrently.
   // The verdict is cached and invalidated by runnable-set changes (gate_epoch_).
   bool RoundIsLocal(TimePoint now);
+  // The mailbox gate: when RoundIsLocal fails because runnable threads carry queue
+  // work, collect every such thread's round queue plan (WorkModel::PlanRoundQueueOps,
+  // budgeted by Scheduler::RoundCycleBound) into a per-queue claim table and admit
+  // the round iff, for every planned queue: no thread is blocked on it, at most one
+  // thread pushes and one pops (so side-band FIFOs keep sequential order), the push
+  // bounds fit the current headroom, and the pop bounds fit the current fill. Under
+  // those conditions no full/empty edge is reachable in ANY interleaving — every op
+  // succeeds with its full request in both engines, no wake can fire — so the round
+  // fans out with bit-identical results. On success round_claims_/round_staged_ hold
+  // the table; on failure the verdict is cached at per-queue epoch granularity
+  // (plan_fail_*): re-evaluation waits for a runnable-set change or a consulted
+  // queue's change_epoch to move, keeping steady-state gate work O(runnable).
+  bool RoundPlanIsFeasible(TimePoint now);
+  // Remembers why the mailbox gate failed: the consulted queues' change epochs
+  // (empty = runnable-set-keyed only), so the fail-fast path above stays sound.
+  void RecordPlanFailure();
   // Invalidates the cached gate verdict. Called on every runnable-set change made
   // outside a parallel round; in-round transitions can only shrink the runnable set
   // (gated work never wakes anyone), which cannot falsify a true verdict.
@@ -414,6 +436,30 @@ class Machine {
   uint64_t gate_epoch_ = 1;
   uint64_t gate_cached_epoch_ = 0;
   bool gate_cached_ = false;
+
+  // --- Mailbox (staked-queue) rounds ---
+  // One planned queue's aggregated claim for the current round: the stake structs
+  // the buffer's mid-round ops write into, and the single planned endpoint threads.
+  struct QueueClaim {
+    BoundedBuffer* queue = nullptr;
+    BoundedBuffer::RoundStake push;
+    BoundedBuffer::RoundStake pop;
+    ThreadId pusher = kInvalidThreadId;
+    ThreadId popper = kInvalidThreadId;
+  };
+  std::vector<QueueClaim> round_claims_;  // This round's queue table (coordinator-owned).
+  // Planned models with their owning core, sorted into ascending-core order before
+  // the FlushRoundEffects barrier — the core-major effect order the sequential
+  // engine produces.
+  std::vector<std::pair<CpuId, WorkModel*>> round_staged_;
+  std::vector<RoundQueueOp> plan_ops_;  // Reused per-thread plan scratch.
+  uint64_t plan_stamp_ = 0;             // Queue-table dedup stamp (BoundedBuffer::PlanMark).
+  int64_t mailbox_rounds_ = 0;
+  // Mailbox-gate failure cache (per-queue epoch granularity): the failure holds
+  // while the runnable set and every consulted queue's change epoch are unchanged.
+  bool plan_fail_valid_ = false;
+  uint64_t plan_fail_gate_epoch_ = 0;
+  std::vector<std::pair<BoundedBuffer*, uint64_t>> plan_fail_queues_;
 };
 
 }  // namespace realrate

@@ -335,6 +335,28 @@ TEST(DifferentialRunnerTest, ClusterBucketSeedPassesItsBattery) {
   FAIL() << "no cluster bucket seed in 1..200";
 }
 
+TEST(DifferentialRunnerTest, MailboxBucketSeedStakesRoundsInTheEquivalencePass) {
+  // The first mailbox-regime bucket seed must (a) pass its battery and (b) stake
+  // queue ops through the per-core epoch mailboxes during the host-thread
+  // equivalence pass — otherwise that pass's 1-vs-N equality is vacuous for
+  // queue-driven rounds (only hog rounds would ever fan out).
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    if (!GenerateWorkload(seed).mailbox_regime) {
+      continue;
+    }
+    SeedCheckOptions options;
+    options.run_metamorphic = false;  // The pinned pass is 1e; keep the test cheap.
+    options.equivalence_host_threads = 4;
+    const SeedReport report = CheckSeed(seed, options);
+    EXPECT_TRUE(report.ok()) << "seed " << seed << ": "
+                             << (report.failures.empty() ? "" : report.failures.front());
+    EXPECT_GT(report.equivalence_parallel_rounds, 0) << "seed " << seed;
+    EXPECT_GT(report.equivalence_mailbox_rounds, 0) << "seed " << seed;
+    return;
+  }
+  FAIL() << "no mailbox-regime bucket seed in 1..200";
+}
+
 TEST(WorkloadGeneratorTest, DeriveSeedSeparatesComponents) {
   EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(1, 1));
   EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));

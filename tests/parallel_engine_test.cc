@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/scenarios.h"
+#include "queue/registry.h"
 #include "sched/machine.h"
 #include "sched/rbs.h"
 #include "sim/parallel.h"
@@ -21,6 +22,8 @@
 #include "sim/trace.h"
 #include "task/registry.h"
 #include "workloads/misc_work.h"
+#include "workloads/producer_consumer.h"
+#include "workloads/rate_schedule.h"
 
 namespace realrate {
 namespace {
@@ -121,6 +124,7 @@ struct RigOutcome {
   int64_t migrations = 0;
   int64_t idle_suspensions = 0;
   int64_t parallel_rounds = 0;
+  int64_t mailbox_rounds = 0;
   int64_t budget_exhaustions = 0;
 };
 
@@ -132,6 +136,7 @@ RigOutcome Finish(ParallelRig& rig) {
   out.migrations = rig.machine->migrations();
   out.idle_suspensions = rig.machine->idle_suspensions();
   out.parallel_rounds = rig.machine->parallel_rounds();
+  out.mailbox_rounds = rig.machine->mailbox_rounds();
   out.budget_exhaustions = rig.sim.trace().Count(TraceKind::kBudgetExhausted);
   return out;
 }
@@ -318,6 +323,117 @@ TEST(ParallelRoundTest, PipelineFarmTraceIsHostThreadInvariant) {
   EXPECT_EQ(par.total_dispatches, seq.total_dispatches);
   EXPECT_EQ(par.total_consumed_bytes, seq.total_consumed_bytes);
   EXPECT_EQ(par.idle_suspensions, seq.idle_suspensions);
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox rounds: queue-driven pipelines through the slot-reservation gate.
+// ---------------------------------------------------------------------------
+
+// Four producer -> consumer pipelines on a bare 4-core rig, shaped so the mailbox
+// gate admits nearly every steady-state round: the queue (256 KB) dwarfs one
+// round's staked traffic (producer ~2 KB push, consumer ~200 B pop per 400k-cycle
+// tick), the fill ramps and never reaches either edge within the run, and no
+// thread sleeps or blocks after the first tick.
+RigOutcome RunPipelineRig(int host_threads, QueueRegistry& queues) {
+  ParallelRig rig(4, host_threads);
+  for (int i = 0; i < 4; ++i) {
+    const std::string tag = std::to_string(i);
+    BoundedBuffer* queue = queues.CreateQueue("pipe" + tag, 256 * 1024);
+    rig.machine->Attach(queue);
+    SimThread* producer = rig.threads.Create(
+        "producer" + tag,
+        std::make_unique<ProducerWork>(queue, /*cycles_per_item=*/50'000,
+                                       RateSchedule(256.0)));
+    rig.machine->Attach(producer);
+    SimThread* consumer = rig.threads.Create(
+        "consumer" + tag,
+        std::make_unique<ConsumerWork>(queue, /*cycles_per_byte=*/2'000));
+    rig.machine->Attach(consumer);
+  }
+  rig.machine->Start();
+  rig.machine->RunFor(Duration::Millis(80));
+  return Finish(rig);
+}
+
+TEST(MailboxRoundTest, PipelineEventStreamIsIdenticalNotJustTheHash) {
+  // The tentpole contract at its strongest: element-wise equality of the full
+  // event stream for rounds that performed staked queue operations in parallel.
+  // Any divergence in staged-effect ordering, stake settlement, or plan bounds
+  // shows up here as a localized transposition.
+  QueueRegistry seq_queues;
+  QueueRegistry par_queues;
+  const RigOutcome seq = RunPipelineRig(1, seq_queues);
+  const RigOutcome par = RunPipelineRig(4, par_queues);
+  EXPECT_EQ(seq.mailbox_rounds, 0);
+  EXPECT_GT(par.mailbox_rounds, 0);
+  EXPECT_EQ(seq.dispatches, par.dispatches);
+  ASSERT_EQ(seq.events.size(), par.events.size());
+  for (size_t i = 0; i < seq.events.size(); ++i) {
+    const TraceEvent& a = seq.events[i];
+    const TraceEvent& b = par.events[i];
+    ASSERT_TRUE(a.t == b.t && a.kind == b.kind && a.thread == b.thread &&
+                a.arg0 == b.arg0 && a.arg1 == b.arg1)
+        << "event " << i << " diverged: [" << ToString(a.kind) << " t=" << a.t.nanos()
+        << " thread=" << a.thread << "] vs [" << ToString(b.kind)
+        << " t=" << b.t.nanos() << " thread=" << b.thread << "]";
+  }
+  EXPECT_EQ(seq.trace_hash, par.trace_hash);
+}
+
+TEST(MailboxRoundTest, QueueStateMatchesTheSequentialEngineExactly) {
+  // Settled stakes must leave every buffer counter — fill, totals, saturation,
+  // change epoch — bit-identical to the reference engine's, not just the trace.
+  QueueRegistry seq_queues;
+  QueueRegistry par_queues;
+  const RigOutcome seq = RunPipelineRig(1, seq_queues);
+  const RigOutcome par = RunPipelineRig(4, par_queues);
+  EXPECT_GT(par.mailbox_rounds, 0);
+  ASSERT_EQ(seq_queues.queue_count(), par_queues.queue_count());
+  for (size_t i = 0; i < seq_queues.queue_count(); ++i) {
+    const BoundedBuffer* a = seq_queues.AllQueues()[i];
+    const BoundedBuffer* b = par_queues.AllQueues()[i];
+    EXPECT_EQ(a->fill(), b->fill()) << a->name();
+    EXPECT_EQ(a->total_pushed(), b->total_pushed()) << a->name();
+    EXPECT_EQ(a->total_popped(), b->total_popped()) << a->name();
+    EXPECT_EQ(a->full_hits(), b->full_hits()) << a->name();
+    EXPECT_EQ(a->empty_hits(), b->empty_hits()) << a->name();
+    EXPECT_EQ(a->change_epoch(), b->change_epoch()) << a->name();
+  }
+}
+
+TEST(MailboxRoundTest, PipelineFarmFansOutThroughTheMailboxGate) {
+  // The full production stack — feedback controller, admission, squish — over a
+  // pipeline-only farm in the mailbox sweet spot: matched rates (producer 40 ppt
+  // at 24k cycles/item of 64 B ~ 256 KB/s, consumer parity ~43 ppt at 400
+  // cycles/byte) keep both endpoints unblocked, and one tick's staked traffic
+  // (~2.5 KB each way) is small against the 64 KB queue whose fill the
+  // controller steers toward half. Before the mailbox gate these rounds all took
+  // the sequential fallback (parallel_rounds stayed 0 with no hogs to gate in).
+  ServerFarmParams params;
+  params.num_cpus = 4;
+  params.num_pipelines = 16;
+  params.num_hogs = 0;
+  params.queue_bytes = 64 * 1024;
+  params.producer_proportion = Proportion::Ppt(40);
+  params.producer_cycles_per_item = 24'000;
+  params.bytes_per_item = 64.0;
+  params.consumer_cycles_per_byte = 400;
+  params.run_for = Duration::Millis(300);
+  const ServerFarmResult seq = RunServerFarmScenario(params);
+  EXPECT_EQ(seq.parallel_rounds, 0);
+  EXPECT_EQ(seq.mailbox_rounds, 0);
+
+  for (const int host_threads : {2, 4}) {
+    ServerFarmParams fanned = params;
+    fanned.host_threads = host_threads;
+    const ServerFarmResult par = RunServerFarmScenario(fanned);
+    EXPECT_GT(par.mailbox_rounds, 0) << host_threads << " host threads";
+    EXPECT_EQ(par.trace_hash, seq.trace_hash) << host_threads << " host threads";
+    EXPECT_EQ(par.total_dispatches, seq.total_dispatches)
+        << host_threads << " host threads";
+    EXPECT_EQ(par.total_consumed_bytes, seq.total_consumed_bytes)
+        << host_threads << " host threads";
+  }
 }
 
 TEST(ParallelRoundTest, HostThreadsBeyondCoresAreClampedAndStillEquivalent) {

@@ -217,6 +217,36 @@ TEST(WebFarmTest, DeterministicAcrossRunsAndHostThreads) {
   EXPECT_EQ(a.served, c.served);
 }
 
+TEST(WebFarmTest, MailboxRoundsEngageAndStayBitIdentical) {
+  // The mailbox gate's farm regime: one acceptor, sustained load near capacity, and
+  // the feedback controller steering every queue toward half-full — so round-start
+  // backlogs cover each worker's tick appetite, the listen queue covers the
+  // acceptor's, and the per-worker headroom absorbs its round-robin dispatches.
+  // These rounds previously all fell back to the sequential path (acceptors and
+  // workers advertise no round-local work); now they must fan out AND stay
+  // bit-identical, request metadata and admission decisions included.
+  WebFarmParams params;
+  params.num_cpus = 4;
+  params.num_workers = 8;
+  params.num_acceptors = 1;
+  params.run_for = Duration::Millis(600);
+  params.arrivals.requests_per_sec = 0.85 * WebFarmCapacityRps(params);
+  const WebFarmResult seq = RunWebFarmScenario(params);
+  EXPECT_EQ(seq.parallel_rounds, 0);
+  EXPECT_EQ(seq.mailbox_rounds, 0);
+  for (const int host_threads : {2, 4}) {
+    WebFarmParams fanned = params;
+    fanned.host_threads = host_threads;
+    const WebFarmResult par = RunWebFarmScenario(fanned);
+    EXPECT_GT(par.mailbox_rounds, 0) << host_threads << " host threads";
+    EXPECT_EQ(par.trace_hash, seq.trace_hash) << host_threads << " host threads";
+    EXPECT_EQ(par.served, seq.served) << host_threads << " host threads";
+    EXPECT_EQ(par.accepted, seq.accepted) << host_threads << " host threads";
+    EXPECT_EQ(par.dispatch_drops, seq.dispatch_drops) << host_threads << " host threads";
+    EXPECT_EQ(par.p99_ms, seq.p99_ms) << host_threads << " host threads";
+  }
+}
+
 TEST(WebFarmTest, ReplayingTheGeneratedStreamMatchesTheSeededRun) {
   const WebFarmParams seeded = PinParams();
   const WebFarmResult a = RunWebFarmScenario(seeded);

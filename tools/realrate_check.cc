@@ -183,12 +183,24 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Vacuity accounting for the host-thread equivalence pass: across the battery,
+  // how many rounds actually fanned out, how many staked queue ops through the
+  // per-core epoch mailboxes, and how many seeds came from the generator's
+  // mailbox-regime bucket. If bucket seeds were generated but not one round
+  // staked, the 1-vs-N equality quietly stopped testing parallel queue rounds —
+  // that is a harness regression, failed as loudly as a trace divergence.
+  int64_t total_parallel_rounds = 0;
+  int64_t total_mailbox_rounds = 0;
+  int64_t mailbox_regime_seeds = 0;
   for (int64_t i = 0; i < args.iterations; ++i) {
     const uint64_t seed = args.seed_base + static_cast<uint64_t>(i);
     const realrate::SeedReport report = realrate::CheckSeed(seed, options);
     if (!report.ok()) {
       return ReportFailure(args, report);
     }
+    total_parallel_rounds += report.equivalence_parallel_rounds;
+    total_mailbox_rounds += report.equivalence_mailbox_rounds;
+    mailbox_regime_seeds += report.spec.mailbox_regime ? 1 : 0;
     if (!args.quiet && (i + 1) % 25 == 0) {
       std::printf("%lld/%lld seeds ok (last: %llu)\n", static_cast<long long>(i + 1),
                   static_cast<long long>(args.iterations),
@@ -202,6 +214,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(args.seed_base),
                 static_cast<unsigned long long>(args.seed_base +
                                                 static_cast<uint64_t>(args.iterations) - 1));
+    std::printf("host-thread equivalence: %lld rounds fanned out, %lld staked queue "
+                "ops via mailboxes (%lld mailbox-regime seeds)\n",
+                static_cast<long long>(total_parallel_rounds),
+                static_cast<long long>(total_mailbox_rounds),
+                static_cast<long long>(mailbox_regime_seeds));
+  }
+  if (mailbox_regime_seeds > 0 && total_mailbox_rounds == 0) {
+    std::fprintf(stderr,
+                 "FAIL vacuity: %lld mailbox-regime seeds ran the host-thread "
+                 "equivalence pass but zero rounds staked queue ops through the "
+                 "mailboxes — the 1-vs-N comparison no longer exercises parallel "
+                 "queue rounds\n",
+                 static_cast<long long>(mailbox_regime_seeds));
+    return 1;
   }
   return 0;
 }

@@ -350,9 +350,48 @@ int Selfcheck(const Args& args) {
     std::fprintf(stderr, "selfcheck: nothing served\n");
     return 1;
   }
-  std::printf("selfcheck ok: %zu requests, served=%lld, trace_hash=%llu\n",
+
+  // 3. A mailbox-eligible farm: at 85% of capacity (no sustained overload, so
+  // queues keep both a fill cushion and headroom) the acceptor's scatter and the
+  // workers' drains stay within the per-core epoch mailbox gate's bounds. The
+  // 4-host-thread replay must actually stake rounds — otherwise the host-thread
+  // equality above is vacuous for queue-driven rounds — and still reproduce the
+  // sequential trace bit for bit.
+  Args steady = args;
+  steady.ratio = 0.85;
+  const std::vector<RequestRecord> steady_records =
+      GenerateRequests(StreamConfig(steady), horizon);
+  WebFarmParams steady_seq = FarmParams(steady, horizon);
+  steady_seq.replay = steady_records;
+  const WebFarmResult steady_one = RunWebFarmScenario(steady_seq);
+  WebFarmParams steady_par = FarmParams(steady, horizon);
+  steady_par.replay = steady_records;
+  steady_par.host_threads = 4;
+  const WebFarmResult steady_four = RunWebFarmScenario(steady_par);
+  if (steady_four.mailbox_rounds <= 0 || steady_four.parallel_rounds <= 0) {
+    std::fprintf(stderr,
+                 "selfcheck: the 85%%-capacity replay staked no mailbox rounds "
+                 "(parallel=%lld mailbox=%lld) — the host-thread equality is "
+                 "vacuous for queue-driven rounds\n",
+                 static_cast<long long>(steady_four.parallel_rounds),
+                 static_cast<long long>(steady_four.mailbox_rounds));
+    return 1;
+  }
+  if (steady_one.trace_hash != steady_four.trace_hash ||
+      steady_one.served != steady_four.served) {
+    std::fprintf(stderr,
+                 "selfcheck: mailbox replay diverged at host_threads 4 (hash %llu "
+                 "vs %llu)\n",
+                 static_cast<unsigned long long>(steady_one.trace_hash),
+                 static_cast<unsigned long long>(steady_four.trace_hash));
+    return 1;
+  }
+
+  std::printf("selfcheck ok: %zu requests, served=%lld, trace_hash=%llu, "
+              "mailbox_rounds=%lld\n",
               records.size(), static_cast<long long>(from_seed.served),
-              static_cast<unsigned long long>(from_seed.trace_hash));
+              static_cast<unsigned long long>(from_seed.trace_hash),
+              static_cast<long long>(steady_four.mailbox_rounds));
   return 0;
 }
 
